@@ -1,0 +1,312 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// benchmark per artifact), plus microbenchmarks of the simulator's hot
+// paths. Each figure benchmark runs its experiment at Quick fidelity and
+// reports the headline quantities via b.ReportMetric; cmd/powerpunch
+// -full produces the paper-quality versions.
+//
+//	go test -bench=. -benchmem
+package powerpunch
+
+import (
+	"testing"
+
+	"powerpunch/internal/config"
+	"powerpunch/internal/core"
+	"powerpunch/internal/experiments"
+	"powerpunch/internal/mesh"
+	"powerpunch/internal/network"
+	"powerpunch/internal/parsec"
+	"powerpunch/internal/traffic"
+)
+
+// benchBenches is the benchmark subset used by the figure benchmarks: a
+// compute-bound and a network-hungry profile bracket the range.
+var benchBenches = []string{"swaptions", "canneal"}
+
+func runFullSystem(b *testing.B) []experiments.BenchResult {
+	b.Helper()
+	res, err := experiments.RunFullSystem(experiments.FullSystemOptions{
+		Fidelity:   experiments.Quick,
+		Benchmarks: benchBenches,
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func avg(res []experiments.BenchResult, s config.Scheme, f func(experiments.SchemeMetrics) float64) float64 {
+	sum := 0.0
+	for _, br := range res {
+		sum += f(br.PerScheme[s])
+	}
+	return sum / float64(len(res))
+}
+
+// BenchmarkTable1Encoding regenerates Table 1: the 22-entry punch-signal
+// code book of router 27's X+ channel.
+func BenchmarkTable1Encoding(b *testing.B) {
+	m := mesh.New(8, 8)
+	var codes int
+	for i := 0; i < b.N; i++ {
+		enc := core.EncodeChannel(m, 27, mesh.East, 3)
+		codes = len(enc.Codes)
+	}
+	b.ReportMetric(float64(codes), "distinct-sets")
+}
+
+// BenchmarkTable2Config regenerates Table 2 (configuration validation
+// and rendering).
+func BenchmarkTable2Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := config.Default()
+		if err := cfg.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		_ = experiments.FormatTable2()
+	}
+}
+
+// BenchmarkFig7Latency regenerates Figure 7: average packet latency per
+// benchmark under the four schemes.
+func BenchmarkFig7Latency(b *testing.B) {
+	var res []experiments.BenchResult
+	for i := 0; i < b.N; i++ {
+		res = runFullSystem(b)
+	}
+	lat := func(m experiments.SchemeMetrics) float64 { return m.AvgLatency }
+	base := avg(res, config.NoPG, lat)
+	b.ReportMetric(base, "noPG-cycles/pkt")
+	b.ReportMetric(avg(res, config.ConvOptPG, lat), "convopt-cycles/pkt")
+	b.ReportMetric(avg(res, config.PowerPunchPG, lat), "punchPG-cycles/pkt")
+}
+
+// BenchmarkFig8ExecTime regenerates Figure 8: execution time normalized
+// to No-PG.
+func BenchmarkFig8ExecTime(b *testing.B) {
+	var res []experiments.BenchResult
+	for i := 0; i < b.N; i++ {
+		res = runFullSystem(b)
+	}
+	norm := func(s config.Scheme) float64 {
+		sum := 0.0
+		for _, br := range res {
+			sum += float64(br.PerScheme[s].ExecTime) / float64(br.PerScheme[config.NoPG].ExecTime)
+		}
+		return sum / float64(len(res))
+	}
+	b.ReportMetric(norm(config.ConvOptPG), "convopt-norm-exec")
+	b.ReportMetric(norm(config.PowerPunchSignal), "signal-norm-exec")
+	b.ReportMetric(norm(config.PowerPunchPG), "punchPG-norm-exec")
+}
+
+// BenchmarkFig9Blocked regenerates Figure 9: powered-off routers
+// encountered per packet.
+func BenchmarkFig9Blocked(b *testing.B) {
+	var res []experiments.BenchResult
+	for i := 0; i < b.N; i++ {
+		res = runFullSystem(b)
+	}
+	blocked := func(m experiments.SchemeMetrics) float64 { return m.Blocked }
+	b.ReportMetric(avg(res, config.ConvOptPG, blocked), "convopt-blocked/pkt")
+	b.ReportMetric(avg(res, config.PowerPunchSignal, blocked), "signal-blocked/pkt")
+	b.ReportMetric(avg(res, config.PowerPunchPG, blocked), "punchPG-blocked/pkt")
+}
+
+// BenchmarkFig10WaitCycles regenerates Figure 10: cycles per packet
+// spent waiting for router wakeup.
+func BenchmarkFig10WaitCycles(b *testing.B) {
+	var res []experiments.BenchResult
+	for i := 0; i < b.N; i++ {
+		res = runFullSystem(b)
+	}
+	wait := func(m experiments.SchemeMetrics) float64 { return m.WakeWait }
+	b.ReportMetric(avg(res, config.ConvOptPG, wait), "convopt-wait/pkt")
+	b.ReportMetric(avg(res, config.PowerPunchSignal, wait), "signal-wait/pkt")
+	b.ReportMetric(avg(res, config.PowerPunchPG, wait), "punchPG-wait/pkt")
+}
+
+// BenchmarkFig11Energy regenerates Figure 11: the router energy
+// breakdown and static-energy savings.
+func BenchmarkFig11Energy(b *testing.B) {
+	var res []experiments.BenchResult
+	for i := 0; i < b.N; i++ {
+		res = runFullSystem(b)
+	}
+	saved := func(m experiments.SchemeMetrics) float64 { return m.StaticSaved }
+	b.ReportMetric(100*avg(res, config.ConvOptPG, saved), "convopt-static-saved-%")
+	b.ReportMetric(100*avg(res, config.PowerPunchPG, saved), "punchPG-static-saved-%")
+}
+
+// BenchmarkFig12LoadSweep regenerates Figure 12: latency and router
+// static power across the load range for the three traffic patterns.
+func BenchmarkFig12LoadSweep(b *testing.B) {
+	var pts []experiments.LoadPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.RunLoadSweep(experiments.LoadSweepOptions{
+			Fidelity: experiments.Quick,
+			Rates:    []float64{0.01, 0.05, 0.10},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report the low-load gap that defines the "power-gating curve".
+	var noPG, conv, punch float64
+	for _, p := range pts {
+		if p.Pattern == "uniform" && p.Rate == 0.01 {
+			switch p.Scheme {
+			case config.NoPG:
+				noPG = p.AvgLatency
+			case config.ConvOptPG:
+				conv = p.AvgLatency
+			case config.PowerPunchPG:
+				punch = p.AvgLatency
+			}
+		}
+	}
+	b.ReportMetric(noPG, "uniform@0.01-noPG")
+	b.ReportMetric(conv, "uniform@0.01-convopt")
+	b.ReportMetric(punch, "uniform@0.01-punchPG")
+}
+
+// BenchmarkFig13Sensitivity regenerates Figure 13: wakeup-latency and
+// router-pipeline sensitivity.
+func BenchmarkFig13Sensitivity(b *testing.B) {
+	var pts []experiments.SensitivityPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.RunSensitivity(experiments.SensitivityOptions{Fidelity: experiments.Quick})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		if p.RouterStages == 3 && p.WakeupLatency == 10 {
+			b.ReportMetric(100*(p.Latency[config.PowerPunchPG]/p.Latency[config.NoPG]-1), "worstcase-punch-pen-%")
+		}
+	}
+}
+
+// BenchmarkScalability regenerates the Section 6.6(2) mesh-size study.
+func BenchmarkScalability(b *testing.B) {
+	var pts []experiments.ScalabilityPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.RunScalability(experiments.Quick, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		if p.Width == 16 {
+			b.ReportMetric(p.SavedCycles, "16x16-cycles-saved")
+			b.ReportMetric(100*p.Reduction, "16x16-reduction-%")
+		}
+	}
+}
+
+// BenchmarkAreaModel regenerates the Section 6.6(1) area estimate.
+func BenchmarkAreaModel(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		rep := core.EstimateArea(config.Default(), core.DefaultAreaModel())
+		frac = rep.OverheadFrac
+	}
+	b.ReportMetric(100*frac, "area-overhead-%")
+}
+
+// BenchmarkAblationPunchDesign runs the design-choice ablation
+// (hop count, timeout, strict encoding) from DESIGN.md.
+func BenchmarkAblationPunchDesign(b *testing.B) {
+	var pts []experiments.AblationPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.RunAblation(experiments.Quick, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		if p.Label == "hops=3 (paper)" {
+			b.ReportMetric(p.AvgLatency, "hops3-cycles/pkt")
+		}
+	}
+}
+
+// --- Microbenchmarks of the simulator hot paths ---
+
+// BenchmarkNetworkStepIdle measures the per-cycle cost of a fully idle
+// gated 8x8 network (the common case at PARSEC loads).
+func BenchmarkNetworkStepIdle(b *testing.B) {
+	cfg := config.Default()
+	net, err := network.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		net.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
+// BenchmarkNetworkStepLoaded measures the per-cycle cost under moderate
+// uniform load with Power Punch active.
+func BenchmarkNetworkStepLoaded(b *testing.B) {
+	cfg := config.Default()
+	net, err := network.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drv := traffic.NewSynthetic(traffic.UniformRandom{}, 0.10, 1)
+	for i := 0; i < 2000; i++ {
+		drv.Tick(net, net.Now())
+		net.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drv.Tick(net, net.Now())
+		net.Step()
+	}
+}
+
+// BenchmarkPunchFabricStep measures the punch fabric's per-cycle cost
+// with many concurrent punches in flight.
+func BenchmarkPunchFabricStep(b *testing.B) {
+	m := mesh.New(8, 8)
+	f := core.NewFabric(m, 3, false, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := mesh.NodeID(0); n < 64; n += 4 {
+			f.EmitSource(n, 63-n)
+		}
+		f.Step()
+	}
+}
+
+// BenchmarkFullSystemSwaptions measures end-to-end full-system
+// simulation throughput (cycles simulated per wall second is the
+// inverse of ns/op divided by the cycle count).
+func BenchmarkFullSystemSwaptions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := config.Default()
+		cfg.Scheme = config.PowerPunchPG
+		cfg.WarmupCycles = 0
+		cfg.MeasureCycles = 1 << 40
+		net, err := network.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := NewWorkload(parsec.MustProfile("swaptions", 10_000), net, 1)
+		res := net.RunUntil(sys, 2_000_000)
+		if !res.Drained {
+			b.Fatal("did not drain")
+		}
+		b.ReportMetric(float64(res.Cycles), "sim-cycles")
+	}
+}

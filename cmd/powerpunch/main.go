@@ -1,0 +1,187 @@
+// Command powerpunch regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	powerpunch -fig table1|table2|fig7|fig8|fig9|fig10|fig11|fig12|fig13|scale|area|ablation|heatmap|all
+//	           [-full] [-seed N] [-bench name,name] [-hops N] [-csv dir]
+//
+// -fig accepts a comma-separated list; the full-system figures (fig7-11)
+// share one set of simulations per invocation.
+//
+// By default experiments run at Quick fidelity (reduced windows /
+// instruction budgets, minutes of wall time for `all`); -full uses the
+// paper-quality settings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"powerpunch/internal/config"
+	"powerpunch/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "experiment id (see -list)")
+	list := flag.Bool("list", false, "list experiment ids")
+	full := flag.Bool("full", false, "paper-quality fidelity (slower)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	bench := flag.String("bench", "", "comma-separated benchmark subset for fig7-fig11")
+	hops := flag.Int("hops", 3, "punch hop count for fig13")
+	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory (fig7-fig13)")
+	flag.Parse()
+
+	if *list || *fig == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Description)
+		}
+		if *fig == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	fid := experiments.Quick
+	if *full {
+		fid = experiments.Full
+	}
+	var benches []string
+	if *bench != "" {
+		benches = strings.Split(*bench, ",")
+	}
+
+	ids := strings.Split(*fig, ",")
+	if *fig == "all" {
+		ids = nil
+		for _, e := range experiments.Registry() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		out, err := run(id, fid, *seed, benches, *hops, *csvDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "powerpunch: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeCSV writes one CSV artifact into dir (no-op when dir is empty).
+func writeCSV(dir, name string, fn func(w *os.File) error) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(dir + "/" + name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+// fullSystemCache avoids re-running the shared fig7-fig11 simulations
+// within one `-fig all` invocation.
+var fullSystemCache []experiments.BenchResult
+
+func fullSystem(fid experiments.Fidelity, seed int64, benches []string) ([]experiments.BenchResult, error) {
+	if fullSystemCache != nil {
+		return fullSystemCache, nil
+	}
+	res, err := experiments.RunFullSystem(experiments.FullSystemOptions{
+		Fidelity: fid, Seed: seed, Benchmarks: benches,
+	})
+	if err == nil {
+		fullSystemCache = res
+	}
+	return res, err
+}
+
+func run(id string, fid experiments.Fidelity, seed int64, benches []string, hops int, csvDir string) (string, error) {
+	switch id {
+	case "table1":
+		return experiments.FormatTable1(), nil
+	case "table2":
+		return experiments.FormatTable2(), nil
+	case "fig7", "fig8", "fig9", "fig10", "fig11":
+		res, err := fullSystem(fid, seed, benches)
+		if err != nil {
+			return "", err
+		}
+		if err := writeCSV(csvDir, "fullsystem.csv", func(w *os.File) error {
+			return experiments.WriteFullSystemCSV(w, res)
+		}); err != nil {
+			return "", err
+		}
+		switch id {
+		case "fig7":
+			return experiments.FormatFig7(res), nil
+		case "fig8":
+			return experiments.FormatFig8(res), nil
+		case "fig9":
+			return experiments.FormatFig9(res), nil
+		case "fig10":
+			return experiments.FormatFig10(res), nil
+		default:
+			return experiments.FormatFig11(res), nil
+		}
+	case "fig12":
+		pts, err := experiments.RunLoadSweep(experiments.LoadSweepOptions{Fidelity: fid, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		if err := writeCSV(csvDir, "loadsweep.csv", func(w *os.File) error {
+			return experiments.WriteLoadSweepCSV(w, pts)
+		}); err != nil {
+			return "", err
+		}
+		return experiments.FormatFig12(pts, nil), nil
+	case "fig13":
+		pts, err := experiments.RunSensitivity(experiments.SensitivityOptions{Fidelity: fid, Seed: seed, PunchHops: hops})
+		if err != nil {
+			return "", err
+		}
+		if err := writeCSV(csvDir, "sensitivity.csv", func(w *os.File) error {
+			return experiments.WriteSensitivityCSV(w, pts)
+		}); err != nil {
+			return "", err
+		}
+		return experiments.FormatFig13(pts), nil
+	case "heatmap":
+		var out string
+		for _, s := range []config.Scheme{config.ConvOptPG, config.PowerPunchPG} {
+			h, err := experiments.RunHeatmap(s, fid, seed)
+			if err != nil {
+				return "", err
+			}
+			out += experiments.FormatHeatmap(h) + "\n"
+		}
+		return out, nil
+	case "scale":
+		pts, err := experiments.RunScalability(fid, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatScalability(pts), nil
+	case "area":
+		return experiments.FormatArea(), nil
+	case "ablation":
+		pts, err := experiments.RunAblation(fid, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatAblation(pts), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q (use -list)", id)
+	}
+}

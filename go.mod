@@ -1,0 +1,3 @@
+module powerpunch
+
+go 1.22

@@ -1,0 +1,280 @@
+package cmp
+
+import (
+	"testing"
+
+	"powerpunch/internal/config"
+	"powerpunch/internal/flit"
+	"powerpunch/internal/mesh"
+	"powerpunch/internal/network"
+)
+
+func testProfile() Profile {
+	return Profile{
+		Name: "test", InstrPerCore: 3000, MPKI: 2.0, L2HitRate: 0.7,
+		InvFrac: 0.2, MaxSharers: 2, WBFrac: 0.3, BlockFrac: 0.7,
+		LocalFrac: 0.4, LocalRadius: 2,
+	}
+}
+
+func newSystem(t *testing.T, scheme config.Scheme, prof Profile) (*network.Network, *System) {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Scheme = scheme
+	cfg.Width, cfg.Height = 4, 4
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 1 << 40
+	net, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, NewSystem(prof, net, 11)
+}
+
+func TestWorkloadCompletes(t *testing.T) {
+	for _, s := range config.Schemes {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			net, sys := newSystem(t, s, testProfile())
+			res := net.RunUntil(sys, 500_000)
+			if !res.Drained {
+				t.Fatalf("workload did not complete (exec=%d)", sys.ExecutionTime())
+			}
+			if !sys.Done() {
+				t.Fatal("Done() false after drain")
+			}
+			if sys.ExecutionTime() < testProfile().InstrPerCore {
+				t.Errorf("execution time %d below instruction budget", sys.ExecutionTime())
+			}
+		})
+	}
+}
+
+func TestEveryMissIsFilled(t *testing.T) {
+	net, sys := newSystem(t, config.NoPG, testProfile())
+	net.RunUntil(sys, 500_000)
+	// Conservation: every GetLine leads to exactly one Data fill.
+	gets := sys.PacketsByType[MsgGetLine]
+	datas := sys.PacketsByType[MsgData]
+	if gets == 0 {
+		t.Fatal("no misses generated")
+	}
+	if gets != datas {
+		t.Errorf("GET=%d DATA=%d: unfilled misses", gets, datas)
+	}
+	// Every invalidation is acked.
+	if sys.PacketsByType[MsgInv] != sys.PacketsByType[MsgAck] {
+		t.Errorf("INV=%d ACK=%d", sys.PacketsByType[MsgInv], sys.PacketsByType[MsgAck])
+	}
+	// All cores' MSHRs drained.
+	for _, c := range sys.cores {
+		if c.outstanding != 0 || c.blockedOn != 0 {
+			t.Errorf("core %d left with outstanding=%d blocked=%d", c.node, c.outstanding, c.blockedOn)
+		}
+	}
+}
+
+func TestMSHRBound(t *testing.T) {
+	prof := testProfile()
+	prof.MSHRs = 2
+	prof.MPKI = 40 // hammer the MSHRs
+	net, sys := newSystem(t, config.NoPG, prof)
+	for i := 0; i < 20_000 && !sys.Done(); i++ {
+		sys.Tick(net, net.Now())
+		for _, c := range sys.cores {
+			if c.outstanding > 2 {
+				t.Fatalf("core %d exceeded MSHR bound: %d", c.node, c.outstanding)
+			}
+		}
+		net.Step()
+	}
+}
+
+func TestNetworkLatencyAffectsExecutionTime(t *testing.T) {
+	// The execution-time feedback loop: ConvOpt-PG (blocking wakeups)
+	// must not run faster than No-PG on a miss-heavy workload.
+	prof := testProfile()
+	prof.MPKI = 4
+	prof.BlockFrac = 0.9
+	net1, sys1 := newSystem(t, config.NoPG, prof)
+	net1.RunUntil(sys1, 500_000)
+	net2, sys2 := newSystem(t, config.ConvOptPG, prof)
+	net2.RunUntil(sys2, 500_000)
+	if sys2.ExecutionTime() <= sys1.ExecutionTime() {
+		t.Errorf("ConvOpt exec %d <= No-PG exec %d; the feedback loop is broken",
+			sys2.ExecutionTime(), sys1.ExecutionTime())
+	}
+}
+
+func TestZeroMPKIIsPureCompute(t *testing.T) {
+	prof := testProfile()
+	prof.MPKI = 0
+	net, sys := newSystem(t, config.NoPG, prof)
+	res := net.RunUntil(sys, 100_000)
+	if !res.Drained {
+		t.Fatal("did not finish")
+	}
+	if sys.TotalMisses != 0 {
+		t.Error("misses with MPKI=0")
+	}
+	// Execution time == instruction budget (finishedAt is the cycle the
+	// budget hits zero, counting from 0).
+	if got := sys.ExecutionTime(); got != prof.InstrPerCore-1 {
+		t.Errorf("exec = %d, want %d", got, prof.InstrPerCore-1)
+	}
+}
+
+func TestPhasesModulateMissRate(t *testing.T) {
+	prof := testProfile()
+	prof.PhasePeriod = 100
+	prof.PhaseDuty = 0.5
+	prof.PhaseScale = 0.0 // quiet half generates nothing
+	_, sys := newSystem(t, config.NoPG, prof)
+	if p := sys.missProb(10); p == 0 {
+		t.Error("active phase must miss")
+	}
+	if p := sys.missProb(60); p != 0 {
+		t.Error("quiet phase must be scaled to zero")
+	}
+}
+
+func TestHomesRespectLocality(t *testing.T) {
+	prof := testProfile()
+	prof.LocalFrac = 1.0
+	prof.LocalRadius = 1
+	net, sys := newSystem(t, config.NoPG, prof)
+	for i := 0; i < 500; i++ {
+		h := sys.pickHome(5)
+		if net.M.HopDistance(5, h) > 1 {
+			t.Fatalf("home %d outside radius 1 of node 5", h)
+		}
+	}
+}
+
+func TestProfileDefaults(t *testing.T) {
+	p := Profile{}
+	p.applyDefaults()
+	if p.L1Latency != 1 || p.L2Latency != 6 || p.MemLatency != 128 ||
+		p.MSHRs != 8 || p.MaxSharers != 2 || p.BurstSize != 4 || p.BurstGap != 8 {
+		t.Errorf("defaults: %+v", p)
+	}
+}
+
+func TestVirtualNetworkAssignment(t *testing.T) {
+	// Protocol deadlock freedom depends on the VN mapping: requests on
+	// VN0, forwards on VN1, responses on VN2.
+	net, sys := newSystem(t, config.NoPG, testProfile())
+	seen := map[MsgType]flit.VirtualNetwork{}
+	for id := range net.NIs {
+		orig := net.NIs[id].Deliver
+		net.NIs[id].Deliver = func(p *flit.Packet, now int64) {
+			if m, ok := p.Payload.(Msg); ok {
+				if vn, dup := seen[m.Type]; dup && vn != p.VN {
+					t.Fatalf("message type %v on two VNs", m.Type)
+				}
+				seen[m.Type] = p.VN
+			}
+			orig(p, now)
+		}
+	}
+	net.RunUntil(sys, 500_000)
+	want := map[MsgType]flit.VirtualNetwork{
+		MsgGetLine: flit.VNRequest,
+		MsgInv:     flit.VNCoherence,
+		MsgMemReq:  flit.VNCoherence,
+		MsgAck:     flit.VNResponse,
+		MsgData:    flit.VNResponse,
+		MsgWB:      flit.VNResponse,
+	}
+	for mt, vn := range seen {
+		if want[mt] != vn {
+			t.Errorf("%v on VN %v, want %v", mt, vn, want[mt])
+		}
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for _, mt := range []MsgType{MsgGetLine, MsgInv, MsgMemReq, MsgAck, MsgData, MsgWB} {
+		if mt.String() == "" {
+			t.Errorf("empty name for %d", int(mt))
+		}
+	}
+}
+
+func TestStallCyclesAccumulate(t *testing.T) {
+	prof := testProfile()
+	prof.MPKI = 10
+	prof.BlockFrac = 1.0
+	net, sys := newSystem(t, config.NoPG, prof)
+	net.RunUntil(sys, 500_000)
+	if sys.TotalStallCycles() == 0 {
+		t.Error("fully-blocking misses must stall cores")
+	}
+}
+
+func TestOnlyWritesInvalidate(t *testing.T) {
+	prof := testProfile()
+	prof.WriteFrac = -1 // read-only workload
+	prof.InvFrac = 0.5
+	net, sys := newSystem(t, config.NoPG, prof)
+	net.RunUntil(sys, 500_000)
+	if sys.TotalInvs != 0 {
+		t.Errorf("read-only workload produced %d invalidations", sys.TotalInvs)
+	}
+	if sys.TotalWrites != 0 || sys.TotalReads == 0 {
+		t.Errorf("read/write split: reads=%d writes=%d", sys.TotalReads, sys.TotalWrites)
+	}
+}
+
+func TestWriteFractionRespected(t *testing.T) {
+	prof := testProfile()
+	prof.WriteFrac = 0.5
+	net, sys := newSystem(t, config.NoPG, prof)
+	net.RunUntil(sys, 500_000)
+	total := sys.TotalReads + sys.TotalWrites
+	if total == 0 {
+		t.Fatal("no misses")
+	}
+	frac := float64(sys.TotalWrites) / float64(total)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("write fraction %.2f, want ~0.5", frac)
+	}
+}
+
+func TestBankContentionQueuesRequests(t *testing.T) {
+	// Hammer one home bank: service must serialize at one request per
+	// L2Latency, so queueing cycles accumulate.
+	prof := testProfile()
+	prof.LocalFrac = 0
+	net, sys := newSystem(t, config.NoPG, prof)
+	home := net.M.NodeAt(mesh.Coord{X: 1, Y: 1})
+	for i := 0; i < 10; i++ {
+		sys.deliver(&flit.Packet{Dst: home, Payload: Msg{
+			Type: MsgGetLine, Txn: uint64(i + 1), Requester: 0, Home: home,
+		}}, 100)
+	}
+	if sys.BankQueueCycles == 0 {
+		t.Error("10 same-cycle requests to one bank must queue")
+	}
+	// Service completes at 100 + 10*L2Latency.
+	if got, want := sys.bankBusy[home], int64(100+10*sys.Prof.L2Latency); got != want {
+		t.Errorf("bankBusy = %d, want %d", got, want)
+	}
+}
+
+func TestMCContentionQueuesAccesses(t *testing.T) {
+	prof := testProfile()
+	net, sys := newSystem(t, config.NoPG, prof)
+	mc := net.M.Corners()[0]
+	for i := 0; i < 5; i++ {
+		sys.deliver(&flit.Packet{Dst: mc, Payload: Msg{
+			Type: MsgMemReq, Txn: uint64(i + 1), Requester: 1, Home: 2,
+		}}, 50)
+	}
+	if sys.MCQueueCycles == 0 {
+		t.Error("burst of DRAM accesses must queue at the controller")
+	}
+	if got, want := sys.mcBusy[mc], int64(50+5*sys.Prof.MemOccupancy); got != want {
+		t.Errorf("mcBusy = %d, want %d", got, want)
+	}
+}

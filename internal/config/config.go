@@ -1,0 +1,259 @@
+// Package config holds every knob of the simulated system in one place,
+// mirroring the paper's Table 2 plus the power-gating and Power Punch
+// parameters of Sections 4-5. A zero Config is not usable; start from
+// Default and override.
+package config
+
+import (
+	"fmt"
+)
+
+// Scheme selects the power-management policy under evaluation, matching
+// the four schemes of the paper's Section 5.
+type Scheme int
+
+// The four evaluated schemes.
+const (
+	// NoPG: baseline, routers always on.
+	NoPG Scheme = iota
+	// ConvOptPG: conventional power-gating optimized with an idle timeout
+	// and one-hop early wakeup (WU asserted when the output direction is
+	// computed at the upstream router).
+	ConvOptPG
+	// PowerPunchSignal: multi-hop punch signals only; no use of NI slack.
+	PowerPunchSignal
+	// PowerPunchPG: the comprehensive scheme with multi-hop and NI
+	// (injection-node) punch signals.
+	PowerPunchPG
+	// PlainPG: conventional power-gating exactly as in the paper's
+	// Section 2.2 — no idle-timeout filtering beyond the 2-cycle
+	// minimum and no early wakeup (WU asserted only when the packet
+	// reaches switch allocation). Not part of the paper's four-scheme
+	// comparison; used by the ablation to quantify what ConvOpt's
+	// optimizations buy.
+	PlainPG
+)
+
+// Schemes lists all schemes in the paper's presentation order.
+var Schemes = []Scheme{NoPG, ConvOptPG, PowerPunchSignal, PowerPunchPG}
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case NoPG:
+		return "No-PG"
+	case ConvOptPG:
+		return "ConvOpt-PG"
+	case PowerPunchSignal:
+		return "PowerPunch-Signal"
+	case PowerPunchPG:
+		return "PowerPunch-PG"
+	case PlainPG:
+		return "Plain-PG"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// UsesEarlyWakeup reports whether WU levels fire at route-computation
+// time (the ConvOpt optimization, also subsumed by the punch schemes);
+// PlainPG asserts WU only when the packet requests the switch.
+func (s Scheme) UsesEarlyWakeup() bool {
+	return s == ConvOptPG || s.UsesPunch()
+}
+
+// UsesIdleTimeoutFilter reports whether the long (BET-oriented) idle
+// timeout applies; PlainPG uses only the 2-cycle in-flight minimum.
+func (s Scheme) UsesIdleTimeoutFilter() bool { return s == ConvOptPG }
+
+// UsesPowerGating reports whether routers may be gated off under s.
+func (s Scheme) UsesPowerGating() bool { return s != NoPG }
+
+// UsesPunch reports whether multi-hop punch signals are active under s.
+func (s Scheme) UsesPunch() bool { return s == PowerPunchSignal || s == PowerPunchPG }
+
+// UsesNISlack reports whether injection-node slack (paper Section 4.2) is
+// exploited under s.
+func (s Scheme) UsesNISlack() bool { return s == PowerPunchPG }
+
+// Config collects all simulation parameters. The defaults reproduce the
+// paper's primary configuration (Table 2 and Section 5).
+type Config struct {
+	// Topology.
+	Width  int // mesh columns
+	Height int // mesh rows
+
+	// Router microarchitecture.
+	RouterStages   int // 3 (speculative SA) or 4 (look-ahead routing only)
+	LinkLatency    int // cycles per link traversal (Tlink)
+	DataVCs        int // data VCs per virtual network
+	CtrlVCs        int // control VCs per virtual network
+	DataVCDepth    int // flits per data VC buffer
+	CtrlVCDepth    int // flits per control VC buffer
+	LinkBandwidth  int // bits per cycle (informational; 1 flit/cycle/link)
+	DataPacketSize int // flits per data packet (cache line / link width)
+	CtrlPacketSize int // flits per control packet
+
+	// Power gating (Section 2.2, 5).
+	Scheme        Scheme
+	WakeupLatency int // Twakeup, cycles
+	BreakEven     int // BET, cycles
+	IdleTimeout   int // idle cycles before gating (min 2)
+	// AdaptiveThrottle enables the churn back-off extension: a
+	// controller that observes mostly sub-break-even gated periods
+	// pauses gating for a window, avoiding the medium-load regime where
+	// gating costs more energy than it saves (not in the paper).
+	AdaptiveThrottle bool
+
+	// Power Punch (Section 4).
+	PunchHops int // hop-count slack of punch signals (2, 3, or 4)
+	// PunchIdleTimeout replaces IdleTimeout under punch schemes: punch
+	// signals forewarn arrivals precisely, so only the 2-cycle in-flight
+	// minimum remains (Section 4.3).
+	PunchIdleTimeout int
+	// PunchStrict limits each router to one newly-generated punch per
+	// outgoing direction per cycle, matching the single-signal-per-
+	// emitter hardware encoding of Table 1 exactly (ablation knob; the
+	// default idealized merge is a negligible superset in practice).
+	PunchStrict bool
+
+	// Network interface (Section 4.2).
+	NILatency int // cycles a packet spends in the NI pipeline
+	// ResourceSlack is the paper's "slack 2": the number of cycles before
+	// NI entry at which an L2/directory access already guarantees a
+	// packet will be generated (L2 access latency, 6 in Table 2).
+	ResourceSlack int
+	// ResourceSlackValidFrac is the fraction of messages whose generating
+	// resource access carries the slack-2 valid bit (L2/directory
+	// accesses qualify; L1 accesses do not).
+	ResourceSlackValidFrac float64
+
+	// Simulation control.
+	Seed          int64
+	WarmupCycles  int64 // cycles before statistics collection starts
+	MeasureCycles int64 // cycles of measured injection
+	DrainCycles   int64 // max cycles to wait for in-flight packets
+}
+
+// Default returns the paper's primary configuration: 8x8 mesh, XY routing,
+// wormhole switching, 3 VNs with 2x3-flit data VCs and 1x1-flit control
+// VC, 128-bit links, 3-stage speculative routers, Twakeup=8, BET=10,
+// timeout=4, 3-hop punch, 3-cycle NI.
+func Default() Config {
+	return Config{
+		Width:  8,
+		Height: 8,
+
+		RouterStages:   3,
+		LinkLatency:    1,
+		DataVCs:        2,
+		CtrlVCs:        1,
+		DataVCDepth:    3,
+		CtrlVCDepth:    1,
+		LinkBandwidth:  128,
+		DataPacketSize: 5, // 64B cache line / 128-bit flits + head
+		CtrlPacketSize: 1,
+
+		Scheme:        PowerPunchPG,
+		WakeupLatency: 8,
+		BreakEven:     10,
+		IdleTimeout:   4,
+
+		PunchHops:        3,
+		PunchIdleTimeout: 2,
+		PunchStrict:      false,
+
+		NILatency:              3,
+		ResourceSlack:          6,
+		ResourceSlackValidFrac: 0.8,
+
+		Seed:          1,
+		WarmupCycles:  10_000,
+		MeasureCycles: 50_000,
+		DrainCycles:   30_000,
+	}
+}
+
+// VCsPerVN returns the number of virtual channels per virtual network.
+func (c *Config) VCsPerVN() int { return c.DataVCs + c.CtrlVCs }
+
+// VCDepth returns the buffer depth of VC index v within a virtual
+// network: data VCs come first, control VCs after.
+func (c *Config) VCDepth(v int) int {
+	if v < c.DataVCs {
+		return c.DataVCDepth
+	}
+	return c.CtrlVCDepth
+}
+
+// IsDataVC reports whether VC index v (within a VN) is a data VC.
+func (c *Config) IsDataVC(v int) bool { return v < c.DataVCs }
+
+// RouterCycles returns Trouter: pipeline cycles per hop excluding the
+// link (3 for the speculative design, 4 for plain look-ahead routing).
+func (c *Config) RouterCycles() int { return c.RouterStages }
+
+// PunchSlackCycles returns the wakeup latency a k-hop punch can hide:
+// k * Trouter (paper Section 4.1: "hide Twakeup up to 9 cycles for
+// 3-stage routers and up to 12 cycles for 4-stage routers").
+func (c *Config) PunchSlackCycles() int { return c.PunchHops * c.RouterCycles() }
+
+// Validate reports the first invalid parameter combination, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.Width < 2 || c.Height < 2:
+		return fmt.Errorf("config: mesh must be at least 2x2, got %dx%d", c.Width, c.Height)
+	case c.RouterStages != 3 && c.RouterStages != 4:
+		return fmt.Errorf("config: RouterStages must be 3 or 4, got %d", c.RouterStages)
+	case c.LinkLatency < 1:
+		return fmt.Errorf("config: LinkLatency must be >= 1, got %d", c.LinkLatency)
+	case c.DataVCs < 1:
+		return fmt.Errorf("config: need at least one data VC per VN, got %d", c.DataVCs)
+	case c.CtrlVCs < 0:
+		return fmt.Errorf("config: CtrlVCs must be >= 0, got %d", c.CtrlVCs)
+	case c.DataVCDepth < 1 || (c.CtrlVCs > 0 && c.CtrlVCDepth < 1):
+		return fmt.Errorf("config: VC depths must be >= 1")
+	case c.DataPacketSize < 1 || c.CtrlPacketSize < 1:
+		return fmt.Errorf("config: packet sizes must be >= 1")
+	case c.DataPacketSize > c.DataVCDepth*3+64:
+		return nil // arbitrary large packets are fine with wormhole
+	}
+	if c.Scheme.UsesPowerGating() {
+		if c.WakeupLatency < 1 {
+			return fmt.Errorf("config: WakeupLatency must be >= 1, got %d", c.WakeupLatency)
+		}
+		if c.IdleTimeout < 2 {
+			return fmt.Errorf("config: IdleTimeout must be >= 2 (in-flight flits must land), got %d", c.IdleTimeout)
+		}
+		if c.BreakEven < 0 {
+			return fmt.Errorf("config: BreakEven must be >= 0, got %d", c.BreakEven)
+		}
+	}
+	if c.Scheme.UsesPunch() {
+		if c.PunchHops < 1 || c.PunchHops > 4 {
+			return fmt.Errorf("config: PunchHops must be in [1,4], got %d", c.PunchHops)
+		}
+		if c.PunchIdleTimeout < 2 {
+			return fmt.Errorf("config: PunchIdleTimeout must be >= 2, got %d", c.PunchIdleTimeout)
+		}
+	}
+	if c.Scheme.UsesNISlack() {
+		if c.NILatency < 0 || c.ResourceSlack < 0 {
+			return fmt.Errorf("config: NI slack parameters must be >= 0")
+		}
+		if c.ResourceSlackValidFrac < 0 || c.ResourceSlackValidFrac > 1 {
+			return fmt.Errorf("config: ResourceSlackValidFrac must be in [0,1], got %g", c.ResourceSlackValidFrac)
+		}
+	}
+	if c.NILatency < 1 {
+		return fmt.Errorf("config: NILatency must be >= 1, got %d", c.NILatency)
+	}
+	return nil
+}
+
+// WithScheme returns a copy of c with the scheme replaced. It is a
+// convenience for sweeping the four schemes over one base configuration.
+func (c Config) WithScheme(s Scheme) Config {
+	c.Scheme = s
+	return c
+}

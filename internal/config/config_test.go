@@ -1,0 +1,162 @@
+package config
+
+import "testing"
+
+func TestDefaultIsValid(t *testing.T) {
+	cfg := Default()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestDefaultMatchesPaperTable2(t *testing.T) {
+	cfg := Default()
+	if cfg.Width != 8 || cfg.Height != 8 {
+		t.Error("default mesh must be 8x8")
+	}
+	if cfg.DataVCs != 2 || cfg.CtrlVCs != 1 || cfg.DataVCDepth != 3 || cfg.CtrlVCDepth != 1 {
+		t.Error("VC configuration must match Table 2 (2x3-flit data + 1x1-flit control)")
+	}
+	if cfg.LinkBandwidth != 128 {
+		t.Error("link bandwidth must be 128 bits/cycle")
+	}
+	if cfg.WakeupLatency != 8 || cfg.BreakEven != 10 || cfg.IdleTimeout != 4 {
+		t.Error("power-gating parameters must match Section 5 (Twakeup=8, BET=10, timeout=4)")
+	}
+	if cfg.PunchHops != 3 || cfg.NILatency != 3 || cfg.ResourceSlack != 6 {
+		t.Error("punch/NI parameters must match Sections 4-5")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.Width = 1 },
+		func(c *Config) { c.RouterStages = 5 },
+		func(c *Config) { c.LinkLatency = 0 },
+		func(c *Config) { c.DataVCs = 0 },
+		func(c *Config) { c.DataVCDepth = 0 },
+		func(c *Config) { c.DataPacketSize = 0 },
+		func(c *Config) { c.WakeupLatency = 0 },
+		func(c *Config) { c.IdleTimeout = 1 },
+		func(c *Config) { c.BreakEven = -1 },
+		func(c *Config) { c.PunchHops = 0 },
+		func(c *Config) { c.PunchHops = 5 },
+		func(c *Config) { c.PunchIdleTimeout = 1 },
+		func(c *Config) { c.NILatency = 0 },
+		func(c *Config) { c.ResourceSlackValidFrac = 1.5 },
+	}
+	for i, m := range mut {
+		cfg := Default()
+		m(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestValidateSchemeScoping(t *testing.T) {
+	// Power-gating parameters are not validated under No-PG.
+	cfg := Default()
+	cfg.Scheme = NoPG
+	cfg.WakeupLatency = 0
+	cfg.IdleTimeout = 0
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("No-PG must not validate PG params: %v", err)
+	}
+	// Punch parameters are not validated under ConvOpt.
+	cfg = Default()
+	cfg.Scheme = ConvOptPG
+	cfg.PunchHops = 0
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("ConvOpt must not validate punch params: %v", err)
+	}
+}
+
+func TestSchemePredicates(t *testing.T) {
+	cases := []struct {
+		s                Scheme
+		pg, punch, slack bool
+	}{
+		{NoPG, false, false, false},
+		{ConvOptPG, true, false, false},
+		{PowerPunchSignal, true, true, false},
+		{PowerPunchPG, true, true, true},
+	}
+	for _, c := range cases {
+		if c.s.UsesPowerGating() != c.pg || c.s.UsesPunch() != c.punch || c.s.UsesNISlack() != c.slack {
+			t.Errorf("%v predicates wrong", c.s)
+		}
+	}
+}
+
+func TestVCDepthMapping(t *testing.T) {
+	cfg := Default()
+	if cfg.VCsPerVN() != 3 {
+		t.Fatalf("VCsPerVN = %d", cfg.VCsPerVN())
+	}
+	if cfg.VCDepth(0) != 3 || cfg.VCDepth(1) != 3 || cfg.VCDepth(2) != 1 {
+		t.Error("VC depth mapping: data VCs first (3-flit), control VC last (1-flit)")
+	}
+	if !cfg.IsDataVC(0) || !cfg.IsDataVC(1) || cfg.IsDataVC(2) {
+		t.Error("IsDataVC mapping")
+	}
+}
+
+func TestPunchSlackCycles(t *testing.T) {
+	// Section 4.1: a 3-hop punch hides up to 9 cycles on a 3-stage
+	// router and up to 12 on a 4-stage router.
+	cfg := Default()
+	cfg.RouterStages = 3
+	if cfg.PunchSlackCycles() != 9 {
+		t.Errorf("3-stage: %d, want 9", cfg.PunchSlackCycles())
+	}
+	cfg.RouterStages = 4
+	if cfg.PunchSlackCycles() != 12 {
+		t.Errorf("4-stage: %d, want 12", cfg.PunchSlackCycles())
+	}
+}
+
+func TestWithScheme(t *testing.T) {
+	cfg := Default()
+	got := cfg.WithScheme(ConvOptPG)
+	if got.Scheme != ConvOptPG || cfg.Scheme != PowerPunchPG {
+		t.Error("WithScheme must copy, not mutate")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	want := map[Scheme]string{
+		NoPG: "No-PG", ConvOptPG: "ConvOpt-PG",
+		PowerPunchSignal: "PowerPunch-Signal", PowerPunchPG: "PowerPunch-PG",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+func TestEarlyWakeupAndTimeoutPredicates(t *testing.T) {
+	cases := []struct {
+		s       Scheme
+		early   bool
+		timeout bool
+	}{
+		{NoPG, false, false},
+		{PlainPG, false, false},
+		{ConvOptPG, true, true},
+		{PowerPunchSignal, true, false},
+		{PowerPunchPG, true, false},
+	}
+	for _, c := range cases {
+		if c.s.UsesEarlyWakeup() != c.early {
+			t.Errorf("%v.UsesEarlyWakeup() = %v", c.s, !c.early)
+		}
+		if c.s.UsesIdleTimeoutFilter() != c.timeout {
+			t.Errorf("%v.UsesIdleTimeoutFilter() = %v", c.s, !c.timeout)
+		}
+	}
+	if PlainPG.String() != "Plain-PG" || !PlainPG.UsesPowerGating() {
+		t.Error("PlainPG identity")
+	}
+}

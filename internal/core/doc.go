@@ -1,0 +1,24 @@
+// Package core implements the paper's primary contribution: the Power
+// Punch mechanisms for non-blocking power-gating of NoC routers.
+//
+// It contains three pieces:
+//
+//   - Fabric: the behavioural punch-signal network. Every cycle, routers
+//     holding packets (and, under PowerPunch-PG, network interfaces with
+//     pending messages) assert punch signals addressed to the "targeted
+//     router" a fixed number of hops ahead on the packet's XY path. The
+//     fabric merges all signals arriving at a router in the same cycle
+//     (set union — lossless, hence contention-free), holds every router a
+//     punch names or transits awake, and relays signals one link per
+//     cycle toward their targets (Section 4.1).
+//
+//   - Encoder: the hardware-cost argument. For any router, direction, and
+//     punch hop count it enumerates every distinct merged target set that
+//     can legally appear on that punch channel under XY-routing turn
+//     restrictions, reproducing Table 1 (22 sets on an interior X+
+//     channel, hence 5-bit X channels and 2-bit Y channels for 3-hop
+//     punch) and the 8-bit X width quoted for 4-hop punch.
+//
+//   - Area: the analytical wiring/logic overhead model behind the paper's
+//     "2.4% of NoC area" figure (Section 6.6).
+package core

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+
+	"powerpunch/internal/mesh"
+	"powerpunch/internal/power"
+	"powerpunch/internal/routing"
+)
+
+// TargetedRouter computes the paper's targeted router for a packet at cur
+// destined to dst with a k-hop punch: the router k hops ahead on the XY
+// path, or the destination if it is closer. It returns mesh.Invalid when
+// cur == dst (no punch needed).
+func TargetedRouter(m *mesh.Mesh, cur, dst mesh.NodeID, k int) mesh.NodeID {
+	if cur == dst {
+		return mesh.Invalid
+	}
+	return routing.Ahead(m, cur, dst, k)
+}
+
+// FabricStats counts punch-fabric activity.
+type FabricStats struct {
+	SourceEmissions int64 // punches asserted by resident packets / NIs
+	RelayedTargets  int64 // target relays across links
+	ChannelCycles   int64 // (node, direction) channel-assertion cycles
+	StrictDrops     int64 // source emissions deferred by strict arbitration
+}
+
+// Fabric is the punch-signal network for one mesh. It is driven by the
+// simulator's cycle loop:
+//
+//	fabric.EmitSource / EmitLocal  (during the cycle, level semantics)
+//	fabric.Step()                  (once per cycle, after all emissions)
+//	fabric.Hold(node)              (read by the PG controllers)
+//
+// Signals written in cycle t reach the next router's controller in cycle
+// t+1 (one link per cycle); relay through a controller is combinational
+// (paper Section 6.6) and adds no extra latency.
+type Fabric struct {
+	m    *mesh.Mesh
+	hops int
+	// strict limits each router to one newly-generated punch per outgoing
+	// direction per cycle, matching the single-signal-per-emitter model
+	// Table 1 encodes. Relays are never dropped (merging is lossless).
+	strict bool
+	acct   *power.Accountant
+
+	// inbox[n]: targets whose punch arrived at n this cycle.
+	inbox [][]mesh.NodeID
+	// localHold[n]: NI asserted an injection-node punch at n this cycle.
+	localHold []bool
+	// pending[n]: targets asserted at n this cycle (sources + local).
+	pending [][]mesh.NodeID
+	// outbox[n][d]: targets leaving n toward direction d this cycle.
+	outbox [][mesh.NumLinkDirs][]mesh.NodeID
+	// hold[n]: result of Step — n must stay/awake this cycle.
+	hold []bool
+	// strictUsed[n][d]: a source emission already used channel (n,d).
+	strictUsed [][mesh.NumLinkDirs]bool
+
+	// verify: check every channel's merged set against its Table-1 code
+	// book (strict mode only; panics on violation). Code books are
+	// built lazily per channel.
+	verify    bool
+	codebooks map[int]map[string]bool
+
+	stats FabricStats
+}
+
+// NewFabric returns a punch fabric for mesh m with the given hop-count
+// slack (paper default 3). acct may be nil to skip energy accounting.
+func NewFabric(m *mesh.Mesh, hops int, strict bool, acct *power.Accountant) *Fabric {
+	if hops < 1 {
+		panic(fmt.Sprintf("core: punch hops must be >= 1, got %d", hops))
+	}
+	n := m.NumNodes()
+	return &Fabric{
+		m:          m,
+		hops:       hops,
+		strict:     strict,
+		acct:       acct,
+		inbox:      make([][]mesh.NodeID, n),
+		localHold:  make([]bool, n),
+		pending:    make([][]mesh.NodeID, n),
+		outbox:     make([][mesh.NumLinkDirs][]mesh.NodeID, n),
+		hold:       make([]bool, n),
+		strictUsed: make([][mesh.NumLinkDirs]bool, n),
+	}
+}
+
+// Hops returns the configured punch hop-count slack.
+func (f *Fabric) Hops() int { return f.hops }
+
+// SetVerifyEncodable makes the fabric assert, every cycle, that every
+// channel's merged target set appears in that channel's Table-1 code
+// book — the runtime proof that the behavioural simulation never needs
+// a signal the proposed hardware could not encode. Only meaningful in
+// strict mode (the code books assume one new signal per emitter per
+// cycle); it panics on the first violation. Intended for tests.
+func (f *Fabric) SetVerifyEncodable(v bool) {
+	f.verify = v
+	if v && f.codebooks == nil {
+		f.codebooks = map[int]map[string]bool{}
+	}
+}
+
+// codebook returns (building lazily) the set of encodable reduced
+// target-set keys for channel (node, dirIdx).
+func (f *Fabric) codebook(node int, di int) map[string]bool {
+	key := node*mesh.NumLinkDirs + di
+	if cb, ok := f.codebooks[key]; ok {
+		return cb
+	}
+	cb := map[string]bool{}
+	if enc := EncodeChannel(f.m, mesh.NodeID(node), mesh.LinkDirections[di], f.hops); enc != nil {
+		for _, c := range enc.Codes {
+			cb[c.Set.Key()] = true
+		}
+	}
+	f.codebooks[key] = cb
+	return cb
+}
+
+// checkEncodable panics if the channel's merged set is outside its code
+// book.
+func (f *Fabric) checkEncodable(node, di int, targets []mesh.NodeID) {
+	red := reduceTargets(f.m, mesh.NodeID(node), targets)
+	if !f.codebook(node, di)[red.Key()] {
+		panic(fmt.Sprintf("core: channel %d->%v carries unencodable set %v (reduced %v)",
+			node, mesh.LinkDirections[di], targets, red))
+	}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (f *Fabric) Stats() FabricStats { return f.stats }
+
+// EmitSource asserts, for the current cycle, the punch of a packet
+// resident at node cur and destined to dst: the signal targeting
+// TargetedRouter(cur, dst, hops). Call once per resident packet head per
+// cycle (level semantics: a stalled packet keeps punching). No-op when
+// cur == dst.
+func (f *Fabric) EmitSource(cur, dst mesh.NodeID) {
+	t := TargetedRouter(f.m, cur, dst, f.hops)
+	if t == mesh.Invalid {
+		return
+	}
+	if f.strict {
+		d := routing.XY(f.m, cur, t)
+		if d != mesh.Local {
+			di := dirIndex(d)
+			if f.strictUsed[cur][di] {
+				f.stats.StrictDrops++
+				return
+			}
+			f.strictUsed[cur][di] = true
+		}
+	}
+	f.stats.SourceEmissions++
+	f.pending[cur] = appendUnique(f.pending[cur], t)
+}
+
+// EmitLocal asserts the injection-node punch of PowerPunch-PG's slack 1:
+// a message with known destination dst is in node src's NI, so the local
+// router is held awake and the multi-hop punch toward the targeted router
+// starts immediately (paper Section 4.2). Call once per pending NI
+// message per cycle.
+func (f *Fabric) EmitLocal(src, dst mesh.NodeID) {
+	f.localHold[src] = true
+	if src != dst {
+		f.EmitSource(src, dst)
+	}
+}
+
+// HoldLocal asserts only the local-router hold at node n (the paper's
+// slack 2: a resource access guarantees a packet will be injected, but
+// the destination is not yet known, so no multi-hop punch can be formed).
+func (f *Fabric) HoldLocal(n mesh.NodeID) {
+	f.localHold[n] = true
+}
+
+// Step processes one cycle: computes each router's hold level from the
+// punches arriving or asserted there, relays surviving targets one link
+// toward their targets, and prepares the next cycle's inboxes. Call
+// exactly once per simulation cycle after all Emit* calls.
+func (f *Fabric) Step() {
+	n := f.m.NumNodes()
+	for node := 0; node < n; node++ {
+		id := mesh.NodeID(node)
+		hold := f.localHold[node] || len(f.pending[node]) > 0 || len(f.inbox[node]) > 0
+
+		// Union of transiting (inbox) and newly-asserted (pending)
+		// targets; relay everything not addressed to this router.
+		relay := func(targets []mesh.NodeID, isRelay bool) {
+			for _, t := range targets {
+				if t == id {
+					continue // absorbed: this router is the target
+				}
+				d := routing.XY(f.m, id, t)
+				di := dirIndex(d)
+				before := len(f.outbox[node][di])
+				f.outbox[node][di] = appendUnique(f.outbox[node][di], t)
+				if isRelay && len(f.outbox[node][di]) > before {
+					f.stats.RelayedTargets++
+				}
+			}
+		}
+		relay(f.inbox[node], true)
+		relay(f.pending[node], false)
+
+		f.hold[node] = hold
+	}
+
+	// Deliver: outboxes become neighbours' inboxes for the next cycle.
+	for node := 0; node < n; node++ {
+		f.inbox[node] = f.inbox[node][:0]
+	}
+	for node := 0; node < n; node++ {
+		id := mesh.NodeID(node)
+		for di := 0; di < mesh.NumLinkDirs; di++ {
+			out := f.outbox[node][di]
+			if len(out) == 0 {
+				continue
+			}
+			f.stats.ChannelCycles++
+			if f.acct != nil {
+				f.acct.PunchHop(node)
+			}
+			if f.verify {
+				f.checkEncodable(node, di, out)
+			}
+			nb := f.m.Neighbor(id, mesh.LinkDirections[di])
+			if nb == mesh.Invalid {
+				// A target beyond the mesh edge is impossible under XY
+				// routing toward a valid node; drop defensively.
+				f.outbox[node][di] = out[:0]
+				continue
+			}
+			for _, t := range out {
+				f.inbox[nb] = appendUnique(f.inbox[nb], t)
+			}
+			f.outbox[node][di] = out[:0]
+		}
+		f.pending[node] = f.pending[node][:0]
+		f.localHold[node] = false
+		f.strictUsed[node] = [mesh.NumLinkDirs]bool{}
+	}
+}
+
+// Hold reports whether node n must be awake this cycle because a punch
+// named or transited it (valid after Step).
+func (f *Fabric) Hold(n mesh.NodeID) bool { return f.hold[n] }
+
+// InboxTargets returns the targets currently inbound at node n (for tests
+// and debugging). The returned slice is owned by the fabric.
+func (f *Fabric) InboxTargets(n mesh.NodeID) []mesh.NodeID { return f.inbox[n] }
+
+func dirIndex(d mesh.Direction) int {
+	for i, ld := range mesh.LinkDirections {
+		if ld == d {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("core: direction %v is not a link direction", d))
+}
+
+func appendUnique(s []mesh.NodeID, t mesh.NodeID) []mesh.NodeID {
+	for _, v := range s {
+		if v == t {
+			return s
+		}
+	}
+	return append(s, t)
+}

@@ -1,0 +1,7 @@
+package core
+
+import "powerpunch/internal/config"
+
+// defaultTestConfig returns the paper's default configuration for area
+// tests without creating an import cycle in test helpers.
+func defaultTestConfig() config.Config { return config.Default() }

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"powerpunch/internal/config"
+)
+
+// WriteFullSystemCSV emits the complete Figure 7-11 dataset as CSV
+// (one row per benchmark x scheme), plot-ready.
+func WriteFullSystemCSV(w io.Writer, results []BenchResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"benchmark", "scheme", "avg_latency_cycles", "exec_time_cycles",
+		"blocked_routers_per_pkt", "wakeup_wait_cycles_per_pkt",
+		"dynamic_J", "static_J", "overhead_J", "static_saved_frac", "packets",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, br := range results {
+		for _, s := range config.Schemes {
+			m := br.PerScheme[s]
+			row := []string{
+				br.Bench, s.String(),
+				f(m.AvgLatency), strconv.FormatInt(m.ExecTime, 10),
+				f(m.Blocked), f(m.WakeWait),
+				e(m.Energy.Dynamic), e(m.Energy.Static), e(m.Energy.Overhead),
+				f(m.StaticSaved), strconv.FormatInt(m.Packets, 10),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteLoadSweepCSV emits the Figure 12 dataset as CSV.
+func WriteLoadSweepCSV(w io.Writer, points []LoadPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"pattern", "rate_flits_node_cycle", "scheme",
+		"avg_latency_cycles", "throughput_flits_node_cycle", "static_power_W", "saturated",
+	}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{
+			p.Pattern, f(p.Rate), p.Scheme.String(),
+			f(p.AvgLatency), f(p.Throughput), e(p.StaticW), strconv.FormatBool(p.Saturated),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSensitivityCSV emits the Figure 13 dataset as CSV.
+func WriteSensitivityCSV(w io.Writer, points []SensitivityPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"router_stages", "wakeup_latency", "punch_hops", "scheme", "avg_latency_cycles"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		for s, lat := range p.Latency {
+			if err := cw.Write([]string{
+				strconv.Itoa(p.RouterStages), strconv.Itoa(p.WakeupLatency),
+				strconv.Itoa(p.PunchHops), s.String(), f(lat),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }
+func e(v float64) string { return fmt.Sprintf("%.6e", v) }

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"powerpunch/internal/config"
+	"powerpunch/internal/network"
+	"powerpunch/internal/parsec"
+	"powerpunch/internal/traffic"
+)
+
+// SensitivityPoint is one bar group of Figure 13: a (router stages,
+// wakeup latency) pair and the three schemes' average latency under
+// uniform traffic at the PARSEC-average load.
+type SensitivityPoint struct {
+	RouterStages  int
+	WakeupLatency int
+	PunchHops     int
+	Latency       map[config.Scheme]float64
+}
+
+// SensitivityOptions parameterizes Figure 13.
+type SensitivityOptions struct {
+	Fidelity Fidelity
+	Seed     int64
+	// PunchHops for the Power Punch scheme (paper uses 3 throughout
+	// Figure 13, deliberately including the under-covered Twakeup=10,
+	// 3-stage case; pass 4 to reproduce the "becomes negligible with a
+	// 4-hop punch" remark).
+	PunchHops int
+}
+
+// RunSensitivity sweeps wakeup latency {6,8,10} on the 3-stage router and
+// {8,10,12} on the 4-stage router (Figure 13).
+func RunSensitivity(o SensitivityOptions) ([]SensitivityPoint, error) {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.PunchHops == 0 {
+		o.PunchHops = 3
+	}
+	cases := []struct{ stages, wakeup int }{
+		{3, 6}, {3, 8}, {3, 10},
+		{4, 8}, {4, 10}, {4, 12},
+	}
+	schemes := []config.Scheme{config.NoPG, config.ConvOptPG, config.PowerPunchPG}
+	var out []SensitivityPoint
+	for _, cse := range cases {
+		pt := SensitivityPoint{
+			RouterStages:  cse.stages,
+			WakeupLatency: cse.wakeup,
+			PunchHops:     o.PunchHops,
+			Latency:       map[config.Scheme]float64{},
+		}
+		for _, s := range schemes {
+			cfg := config.Default().WithScheme(s)
+			cfg.RouterStages = cse.stages
+			cfg.WakeupLatency = cse.wakeup
+			cfg.PunchHops = o.PunchHops
+			cfg.WarmupCycles = o.Fidelity.warmupCycles()
+			cfg.MeasureCycles = o.Fidelity.measureCycles()
+			net, err := network.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			drv := traffic.NewSynthetic(traffic.UniformRandom{}, parsec.AverageLoadFlitsPerNodeCycle, o.Seed)
+			res := net.Run(drv)
+			pt.Latency[s] = res.Summary.AvgLatency
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatFig13 renders the sensitivity study, the paper's Figure 13.
+func FormatFig13(points []SensitivityPoint) string {
+	t := &table{header: []string{"router", "Twakeup", "No-PG", "ConvOpt-PG", "PowerPunch-PG", "PunchPG vs No-PG"}}
+	for _, p := range points {
+		base := p.Latency[config.NoPG]
+		t.add(
+			fmt.Sprintf("%d-stage", p.RouterStages),
+			fmt.Sprintf("%d", p.WakeupLatency),
+			fmtF(base),
+			fmtF(p.Latency[config.ConvOptPG]),
+			fmtF(p.Latency[config.PowerPunchPG]),
+			fmt.Sprintf("%+.1f%%", (p.Latency[config.PowerPunchPG]/base-1)*100),
+		)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13: wakeup-latency sensitivity (uniform @ %.3f flits/node/cycle, %d-hop punch)\n",
+		parsec.AverageLoadFlitsPerNodeCycle, points[0].PunchHops)
+	b.WriteString(t.String())
+	b.WriteString("paper: ConvOpt-PG 1.5x-2x No-PG in all cases; PowerPunch-PG +2.4%..+9.2%,\n" +
+		"worst at Twakeup=10 on the 3-stage router where a 3-hop punch (9 cycles of slack) cannot cover the wakeup\n")
+	return b.String()
+}
+
+// ScalabilityPoint is one mesh size of the Section 6.6(2) analysis.
+type ScalabilityPoint struct {
+	Width      int
+	ConvOptLat float64
+	PunchLat   float64
+	NoPGLat    float64
+	Reduction  float64 // PunchPG latency reduction vs ConvOpt (relative)
+	// SavedCycles is the absolute penalty removed: ConvOpt - PunchPG.
+	SavedCycles float64
+}
+
+// RunScalability measures average latency at 0.01 flits/node/cycle for
+// 4x4, 8x8, and 16x16 meshes (paper: PowerPunch-PG reduces latency vs
+// ConvOpt-PG by 43.4%, 54.9%, 69.1%).
+func RunScalability(f Fidelity, seed int64) ([]ScalabilityPoint, error) {
+	if seed == 0 {
+		seed = 1
+	}
+	var out []ScalabilityPoint
+	for _, w := range []int{4, 8, 16} {
+		pt := ScalabilityPoint{Width: w}
+		for _, s := range []config.Scheme{config.NoPG, config.ConvOptPG, config.PowerPunchPG} {
+			cfg := config.Default().WithScheme(s)
+			cfg.Width, cfg.Height = w, w
+			cfg.WarmupCycles = f.warmupCycles()
+			cfg.MeasureCycles = f.measureCycles()
+			net, err := network.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			drv := traffic.NewSynthetic(traffic.UniformRandom{}, 0.01, seed)
+			drv.DataFrac = 1.0 // the paper's synthetic runs use 5-flit packets
+			res := net.Run(drv)
+			switch s {
+			case config.NoPG:
+				pt.NoPGLat = res.Summary.AvgLatency
+			case config.ConvOptPG:
+				pt.ConvOptLat = res.Summary.AvgLatency
+			case config.PowerPunchPG:
+				pt.PunchLat = res.Summary.AvgLatency
+			}
+		}
+		if pt.ConvOptLat > 0 {
+			pt.Reduction = 1 - pt.PunchLat/pt.ConvOptLat
+		}
+		pt.SavedCycles = pt.ConvOptLat - pt.PunchLat
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatScalability renders the Section 6.6(2) table. The paper reports
+// growing relative reductions (43.4%, 54.9%, 69.1%); in this simulator
+// the absolute blocking penalty removed grows with network size (the
+// cumulative-wakeup effect the paper describes) while the relative
+// metric is diluted by the base latency growing too — see
+// EXPERIMENTS.md.
+func FormatScalability(points []ScalabilityPoint) string {
+	t := &table{header: []string{"mesh", "No-PG", "ConvOpt-PG", "PowerPunch-PG", "cycles saved", "reduction vs ConvOpt"}}
+	for _, p := range points {
+		t.add(fmt.Sprintf("%dx%d", p.Width, p.Width),
+			fmtF(p.NoPGLat), fmtF(p.ConvOptLat), fmtF(p.PunchLat),
+			fmtF(p.SavedCycles), fmtPct(p.Reduction))
+	}
+	var b strings.Builder
+	b.WriteString("Section 6.6(2): scalability at 0.01 flits/node/cycle (paper reductions: 43.4%, 54.9%, 69.1%)\n")
+	b.WriteString(t.String())
+	return b.String()
+}

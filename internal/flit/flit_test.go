@@ -1,0 +1,105 @@
+package flit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFlitsSingle(t *testing.T) {
+	p := &Packet{ID: 1, Size: 1}
+	fs := NewFlits(p)
+	if len(fs) != 1 || fs[0].Type != HeadTail {
+		t.Fatalf("single-flit packet: %v", fs)
+	}
+	if !fs[0].Type.IsHead() || !fs[0].Type.IsTail() {
+		t.Error("HeadTail must be both head and tail")
+	}
+}
+
+func TestNewFlitsMulti(t *testing.T) {
+	p := &Packet{ID: 2, Size: 5}
+	fs := NewFlits(p)
+	if len(fs) != 5 {
+		t.Fatalf("got %d flits", len(fs))
+	}
+	if fs[0].Type != Head || fs[4].Type != Tail {
+		t.Errorf("ends: %v %v", fs[0].Type, fs[4].Type)
+	}
+	for i := 1; i < 4; i++ {
+		if fs[i].Type != Body {
+			t.Errorf("flit %d is %v, want Body", i, fs[i].Type)
+		}
+	}
+	for i, f := range fs {
+		if f.Seq != i || f.Packet != p {
+			t.Errorf("flit %d: seq=%d packet=%p", i, f.Seq, f.Packet)
+		}
+	}
+}
+
+func TestNewFlitsProperties(t *testing.T) {
+	// Property: exactly one head-bearing and one tail-bearing flit per
+	// packet, and sequence numbers are 0..Size-1.
+	f := func(sizeRaw uint8) bool {
+		size := int(sizeRaw%16) + 1
+		p := &Packet{Size: size}
+		fs := NewFlits(p)
+		heads, tails := 0, 0
+		for i, fl := range fs {
+			if fl.Seq != i {
+				return false
+			}
+			if fl.Type.IsHead() {
+				heads++
+			}
+			if fl.Type.IsTail() {
+				tails++
+			}
+		}
+		return heads == 1 && tails == 1 && len(fs) == size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewFlitsPanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for size 0")
+		}
+	}()
+	NewFlits(&Packet{Size: 0})
+}
+
+func TestLatencyAccessors(t *testing.T) {
+	p := &Packet{CreatedAt: 10, InjectedAt: 15, EjectedAt: 40}
+	if p.NetworkLatency() != 30 {
+		t.Errorf("NetworkLatency = %d", p.NetworkLatency())
+	}
+	if p.RouterLatency() != 25 {
+		t.Errorf("RouterLatency = %d", p.RouterLatency())
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if VNRequest.String() != "req" || VNCoherence.String() != "coh" || VNResponse.String() != "resp" {
+		t.Error("VN names")
+	}
+	if KindControl.String() != "ctrl" || KindData.String() != "data" {
+		t.Error("kind names")
+	}
+	if Head.String() != "H" || Body.String() != "B" || Tail.String() != "T" || HeadTail.String() != "HT" {
+		t.Error("flit type names")
+	}
+	p := &Packet{ID: 3, Src: 1, Dst: 2, VN: VNResponse, Kind: KindData, Size: 5}
+	if p.String() == "" || NewFlits(p)[0].String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestNumVirtualNetworks(t *testing.T) {
+	if NumVirtualNetworks != 3 {
+		t.Errorf("the paper's MESI configuration needs exactly 3 VNs, got %d", NumVirtualNetworks)
+	}
+}

@@ -1,0 +1,83 @@
+// Package link models inter-router channels as fixed-latency pipes:
+// anything pushed in cycle t becomes visible to the receiver in cycle
+// t + delay. Flit channels, credit channels, and any other latched
+// sideband all use the same generic pipe.
+package link
+
+import "fmt"
+
+// Pipe is a fixed-latency delivery queue. The zero value is unusable;
+// use NewPipe. Pipe is not concurrency-safe: the simulator's single
+// cycle loop owns it.
+type Pipe[T any] struct {
+	delay int64
+	q     []entry[T]
+}
+
+type entry[T any] struct {
+	at int64
+	v  T
+}
+
+// NewPipe returns a pipe with the given latency in cycles (>= 1).
+func NewPipe[T any](delay int) *Pipe[T] {
+	if delay < 1 {
+		panic(fmt.Sprintf("link: pipe delay must be >= 1, got %d", delay))
+	}
+	return &Pipe[T]{delay: int64(delay)}
+}
+
+// Delay returns the pipe latency in cycles.
+func (p *Pipe[T]) Delay() int { return int(p.delay) }
+
+// Push enqueues v at cycle now; it arrives at now + delay. Pushes must
+// occur in nondecreasing `now` order.
+func (p *Pipe[T]) Push(v T, now int64) {
+	p.q = append(p.q, entry[T]{at: now + p.delay, v: v})
+}
+
+// PopArrived removes and returns every item whose arrival time is <= now,
+// in FIFO order. The returned slice is valid until the next call.
+func (p *Pipe[T]) PopArrived(now int64) []T {
+	n := 0
+	for n < len(p.q) && p.q[n].at <= now {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		out[i] = p.q[i].v
+	}
+	p.q = p.q[:copy(p.q, p.q[n:])]
+	return out
+}
+
+// Empty reports whether nothing is in flight.
+func (p *Pipe[T]) Empty() bool { return len(p.q) == 0 }
+
+// Len returns the number of in-flight items.
+func (p *Pipe[T]) Len() int { return len(p.q) }
+
+// Drain invokes fn on every item whose arrival time is <= now, in FIFO
+// order, removing them from the pipe. It allocates nothing and is the
+// preferred form in the cycle loop.
+func (p *Pipe[T]) Drain(now int64, fn func(T)) {
+	n := 0
+	for n < len(p.q) && p.q[n].at <= now {
+		fn(p.q[n].v)
+		n++
+	}
+	if n > 0 {
+		p.q = p.q[:copy(p.q, p.q[n:])]
+	}
+}
+
+// ForEach visits every in-flight item in FIFO order without removing it
+// (used by invariant checks).
+func (p *Pipe[T]) ForEach(fn func(T)) {
+	for i := range p.q {
+		fn(p.q[i].v)
+	}
+}

@@ -1,0 +1,477 @@
+// Package network assembles routers, links, network interfaces, the
+// power-gating controllers, and the Power Punch fabric into a complete
+// mesh NoC, and drives the synchronous cycle loop. All inter-component
+// communication is latched: signals written in cycle t are visible in
+// cycle t+1 (plus link latency), so component evaluation order within a
+// cycle cannot leak information backwards.
+package network
+
+import (
+	"fmt"
+
+	"powerpunch/internal/config"
+	"powerpunch/internal/core"
+	"powerpunch/internal/flit"
+	"powerpunch/internal/mesh"
+	"powerpunch/internal/ni"
+	"powerpunch/internal/pg"
+	"powerpunch/internal/power"
+	"powerpunch/internal/router"
+	"powerpunch/internal/stats"
+)
+
+// Network is a complete simulated NoC.
+type Network struct {
+	Cfg     config.Config
+	M       *mesh.Mesh
+	Routers []*router.Router
+	NIs     []*ni.NI
+	Fabric  *core.Fabric // nil unless the scheme uses punch signals
+	Acct    *power.Accountant
+	Col     *stats.Collector
+
+	now    int64
+	pktSeq uint64
+
+	// scratch buffers reused across cycles
+	wants   [][mesh.NumPorts]bool
+	wakeups []bool
+}
+
+// New builds a network for cfg. The statistics collector measures packets
+// created in [cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles);
+// power accounting starts disabled (call SetAccounting or use Run).
+func New(cfg config.Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := mesh.New(cfg.Width, cfg.Height)
+	nNodes := m.NumNodes()
+
+	acct := power.NewAccountant(nNodes, powerConstants(cfg))
+	col := stats.New(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
+
+	var fab *core.Fabric
+	if cfg.Scheme.UsesPunch() {
+		fab = core.NewFabric(m, cfg.PunchHops, cfg.PunchStrict, acct)
+	}
+
+	n := &Network{
+		Cfg:     cfg,
+		M:       m,
+		Acct:    acct,
+		Col:     col,
+		Fabric:  fab,
+		wants:   make([][mesh.NumPorts]bool, nNodes),
+		wakeups: make([]bool, nNodes),
+	}
+
+	timeout := cfg.IdleTimeout
+	switch {
+	case cfg.Scheme.UsesPunch():
+		// Punch signals forewarn arrivals precisely, so the blind timeout
+		// filter shrinks to the 2-cycle in-flight minimum (Section 4.3).
+		timeout = cfg.PunchIdleTimeout
+	case cfg.Scheme == config.PlainPG:
+		// The unoptimized baseline has no idle filter beyond the
+		// in-flight minimum.
+		timeout = 2
+	}
+	for id := mesh.NodeID(0); m.Contains(id); id++ {
+		ctrl := pg.New(cfg.Scheme.UsesPowerGating(), timeout, cfg.WakeupLatency, cfg.BreakEven)
+		ctrl.SetAdaptiveThrottle(cfg.AdaptiveThrottle)
+		rid := int(id)
+		ctrl.SetHooks(nil, func() { acct.GatingEvent(rid) })
+		r := router.New(id, m, &n.Cfg, ctrl, acct)
+		n.Routers = append(n.Routers, r)
+		n.NIs = append(n.NIs, ni.New(id, m, &n.Cfg, r, fab, col))
+	}
+	return n, nil
+}
+
+// powerConstants adapts the default power constants to the configured
+// break-even time.
+func powerConstants(cfg config.Config) power.Constants {
+	c := power.DefaultConstants()
+	c.BreakEvenCycles = cfg.BreakEven
+	return c
+}
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// NI returns node id's network interface.
+func (n *Network) NI(id mesh.NodeID) *ni.NI { return n.NIs[id] }
+
+// Router returns node id's router.
+func (n *Network) Router(id mesh.NodeID) *router.Router { return n.Routers[id] }
+
+// NextPacketID returns a fresh packet ID.
+func (n *Network) NextPacketID() uint64 {
+	n.pktSeq++
+	return n.pktSeq
+}
+
+// NewPacket builds a packet with a fresh ID. Size is derived from kind
+// via the configuration.
+func (n *Network) NewPacket(src, dst mesh.NodeID, vn flit.VirtualNetwork, kind flit.Kind) *flit.Packet {
+	size := n.Cfg.CtrlPacketSize
+	if kind == flit.KindData {
+		size = n.Cfg.DataPacketSize
+	}
+	return &flit.Packet{
+		ID:           n.NextPacketID(),
+		Src:          src,
+		Dst:          dst,
+		VN:           vn,
+		Kind:         kind,
+		Size:         size,
+		ResourceHint: -1,
+	}
+}
+
+// SetAccounting enables or disables energy accounting (typically enabled
+// for exactly the measurement window).
+func (n *Network) SetAccounting(v bool) { n.Acct.SetEnabled(v) }
+
+// Step advances the network one cycle.
+func (n *Network) Step() {
+	now := n.now
+
+	// 1. Deliver everything arriving this cycle (latched from earlier).
+	n.deliver(now)
+
+	// 2. NI signalling: move announced messages along, emit injection-
+	//    node punches (PowerPunch-PG slacks 1 and 2).
+	for _, nif := range n.NIs {
+		nif.StepSignals(now)
+	}
+
+	// 3. Punch fabric: resident packets assert their punches; the fabric
+	//    merges, holds, and relays (one link per cycle).
+	if n.Fabric != nil {
+		for _, r := range n.Routers {
+			cur := r.ID
+			r.ResidentHeads(func(p *flit.Packet) {
+				n.Fabric.EmitSource(cur, p.Dst)
+			})
+		}
+		n.Fabric.Step()
+	}
+
+	// 4. Mask outputs whose downstream router asserts PG.
+	for _, r := range n.Routers {
+		for _, d := range mesh.LinkDirections {
+			op := r.Out(d)
+			if nb := op.Neighbor(); nb != mesh.Invalid {
+				op.Blocked = n.Routers[nb].Ctrl.PGAsserted()
+			}
+		}
+	}
+
+	// 5. Router pipelines (ST then VA inside each router).
+	for _, r := range n.Routers {
+		r.Step(now)
+	}
+
+	// 6. NI injection (at most one flit per node per cycle).
+	for _, nif := range n.NIs {
+		nif.StepInject(now)
+	}
+
+	// 7. Power-gating controllers observe this cycle's levels and step.
+	n.stepControllers(now)
+
+	// 8. Power accounting.
+	for i, r := range n.Routers {
+		n.Acct.TickStatic(i, routerPowerState(r.Ctrl))
+	}
+	n.Acct.TickCycle()
+
+	n.now = now + 1
+}
+
+// deliver drains all link pipes whose contents arrive at cycle `now`.
+func (n *Network) deliver(now int64) {
+	for _, r := range n.Routers {
+		rr := r
+		for p := 0; p < mesh.NumPorts; p++ {
+			d := mesh.Direction(p)
+			op := rr.Out(d)
+			if d == mesh.Local {
+				nif := n.NIs[rr.ID]
+				op.FlitOut.Drain(now, func(ft router.FlitInTransit) {
+					nif.ReceiveEject(ft, now)
+				})
+				continue
+			}
+			nb := op.Neighbor()
+			if nb == mesh.Invalid {
+				continue
+			}
+			dst := n.Routers[nb]
+			from := d.Opposite()
+			op.FlitOut.Drain(now, func(ft router.FlitInTransit) {
+				dst.ReceiveFlit(from, ft.VC, ft.Flit, now)
+			})
+		}
+		for p := 0; p < mesh.NumPorts; p++ {
+			d := mesh.Direction(p)
+			ip := rr.In(d)
+			if d == mesh.Local {
+				nif := n.NIs[rr.ID]
+				ip.CreditOut.Drain(now, func(c router.Credit) {
+					nif.ReceiveCredit(c.VC)
+				})
+				continue
+			}
+			nb := n.M.Neighbor(rr.ID, d)
+			if nb == mesh.Invalid {
+				continue
+			}
+			up := n.Routers[nb]
+			toward := d.Opposite()
+			ip.CreditOut.Drain(now, func(c router.Credit) {
+				up.ReceiveCredit(toward, c.VC)
+			})
+		}
+	}
+}
+
+// stepControllers computes each controller's inputs from this cycle's
+// levels and advances the gating FSMs.
+func (n *Network) stepControllers(now int64) {
+	if !n.Cfg.Scheme.UsesPowerGating() {
+		return
+	}
+	// WU levels: a router wants its neighbor awake while any resident
+	// routed packet heads there — from route-computation time under
+	// early wakeup (ConvOpt and the punch schemes), or only from
+	// switch-allocation time under the unoptimized PlainPG baseline.
+	early := n.Cfg.Scheme.UsesEarlyWakeup()
+	for i, r := range n.Routers {
+		if early {
+			r.WantsOutput(&n.wants[i])
+		} else {
+			r.WantsOutputAtSA(&n.wants[i], now)
+		}
+	}
+	for i, r := range n.Routers {
+		wu := n.NIs[i].WantsWakeup()
+		if !wu {
+			for _, d := range mesh.LinkDirections {
+				nb := n.M.Neighbor(r.ID, d)
+				if nb == mesh.Invalid {
+					continue
+				}
+				// Neighbor nb reaches r through its port facing r.
+				if n.wants[nb][d.Opposite()] {
+					wu = true
+					break
+				}
+			}
+		}
+		n.wakeups[i] = wu
+	}
+	for i, r := range n.Routers {
+		empty := r.Empty() && n.incomingQuiet(r)
+		hold := false
+		if n.Fabric != nil {
+			hold = n.Fabric.Hold(r.ID)
+		}
+		if n.wakeups[i] && n.Acct.Enabled() {
+			n.Acct.WakeupSignal(i)
+		}
+		r.Ctrl.Step(pg.Inputs{Empty: empty, Wakeup: n.wakeups[i], PunchHold: hold})
+	}
+}
+
+// incomingQuiet reports that no flit is in flight toward router r (its
+// neighbors' output pipes facing r are empty). Together with the >= 2
+// cycle idle timeout this guarantees gating never strands a flit.
+func (n *Network) incomingQuiet(r *router.Router) bool {
+	for _, d := range mesh.LinkDirections {
+		nb := n.M.Neighbor(r.ID, d)
+		if nb == mesh.Invalid {
+			continue
+		}
+		if !n.Routers[nb].Out(d.Opposite()).FlitOut.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+func routerPowerState(c *pg.Controller) power.RouterState {
+	switch c.State() {
+	case pg.Gated:
+		return power.Gated
+	case pg.Waking:
+		return power.WakingUp
+	default:
+		return power.On
+	}
+}
+
+// Quiesced reports whether no packet or flit remains anywhere in the
+// network or its NIs.
+func (n *Network) Quiesced() bool {
+	for _, r := range n.Routers {
+		if !r.Empty() {
+			return false
+		}
+		for p := 0; p < mesh.NumPorts; p++ {
+			if !r.Out(mesh.Direction(p)).FlitOut.Empty() {
+				return false
+			}
+		}
+	}
+	for _, nif := range n.NIs {
+		if nif.Busy() {
+			return false
+		}
+	}
+	return true
+}
+
+// GatedRouterCount returns the number of routers currently gated off.
+func (n *Network) GatedRouterCount() int {
+	c := 0
+	for _, r := range n.Routers {
+		if r.Ctrl.State() == pg.Gated {
+			c++
+		}
+	}
+	return c
+}
+
+// CheckInvariants panics with a description if a structural invariant is
+// violated; tests call it periodically.
+//
+// Invariants checked:
+//  1. a gated or waking router holds no flits (gating requires empty);
+//  2. credit conservation on every inter-router link: for each VC,
+//     available credits + downstream buffer occupancy + flits on the
+//     wire + credits on the reverse wire == buffer depth.
+func (n *Network) CheckInvariants() {
+	for _, r := range n.Routers {
+		if !r.Ctrl.IsOn() && !r.Empty() {
+			panic(fmt.Sprintf("network: router %d is %v with %d buffered flits",
+				r.ID, r.Ctrl.State(), r.BufferedFlits()))
+		}
+	}
+	perVN := n.Cfg.VCsPerVN()
+	for _, a := range n.Routers {
+		for _, d := range mesh.LinkDirections {
+			op := a.Out(d)
+			nb := op.Neighbor()
+			if nb == mesh.Invalid {
+				continue
+			}
+			b := n.Routers[nb]
+			from := d.Opposite()
+			for v := 0; v < a.NumVCs(); v++ {
+				inFlightFlits := 0
+				op.FlitOut.ForEach(func(ft router.FlitInTransit) {
+					if ft.VC == v {
+						inFlightFlits++
+					}
+				})
+				inFlightCredits := 0
+				b.In(from).CreditOut.ForEach(func(c router.Credit) {
+					if c.VC == v {
+						inFlightCredits++
+					}
+				})
+				total := op.Credits(v) + b.VCOccupancy(from, v) + inFlightFlits + inFlightCredits
+				if depth := n.Cfg.VCDepth(v % perVN); total != depth {
+					panic(fmt.Sprintf("network: credit leak on %d->%d vc%d: credits=%d + buf=%d + wire=%d + credwire=%d != depth %d",
+						a.ID, nb, v, op.Credits(v), b.VCOccupancy(from, v), inFlightFlits, inFlightCredits, depth))
+				}
+			}
+		}
+	}
+}
+
+// Driver injects traffic into the network: Tick is called once per cycle
+// before Step, and Done reports whether the driver has finished its
+// workload (synthetic drivers never finish; CMP workloads do).
+type Driver interface {
+	Tick(n *Network, now int64)
+	Done() bool
+}
+
+// RunResult summarizes a complete simulation run.
+type RunResult struct {
+	Cycles       int64
+	Summary      stats.Summary
+	Energy       power.Breakdown
+	AvgStaticW   float64
+	StaticSaved  float64
+	Drained      bool
+	GatingEvents int64
+}
+
+// Run executes the standard windowed experiment: warmup, measurement
+// (with energy accounting), then drain until every measured packet is
+// delivered or the drain budget expires. The driver is ticked every
+// cycle of warmup+measurement.
+func (n *Network) Run(d Driver) RunResult {
+	warmEnd := n.Cfg.WarmupCycles
+	measEnd := warmEnd + n.Cfg.MeasureCycles
+	for n.now < warmEnd {
+		d.Tick(n, n.now)
+		n.Step()
+	}
+	n.SetAccounting(true)
+	for n.now < measEnd {
+		d.Tick(n, n.now)
+		n.Step()
+	}
+	n.SetAccounting(false)
+
+	drainEnd := measEnd + n.Cfg.DrainCycles
+	drained := true
+	for n.Col.InFlight() > 0 || !n.Quiesced() {
+		if n.now >= drainEnd {
+			drained = false
+			break
+		}
+		n.Step()
+	}
+	return n.result(drained)
+}
+
+// RunUntil drives the network until the driver reports done and the
+// network quiesces (execution-time experiments), up to maxCycles.
+// Accounting is enabled for the whole run.
+func (n *Network) RunUntil(d Driver, maxCycles int64) RunResult {
+	n.SetAccounting(true)
+	drained := true
+	for !d.Done() || !n.Quiesced() {
+		if n.now >= maxCycles {
+			drained = false
+			break
+		}
+		d.Tick(n, n.now)
+		n.Step()
+	}
+	n.SetAccounting(false)
+	return n.result(drained)
+}
+
+func (n *Network) result(drained bool) RunResult {
+	var gatings int64
+	for _, r := range n.Routers {
+		gatings += r.Ctrl.Stats().GatingEvents
+	}
+	return RunResult{
+		Cycles:       n.now,
+		Summary:      n.Col.Summarize(),
+		Energy:       n.Acct.Network(),
+		AvgStaticW:   n.Acct.AvgStaticPower(),
+		StaticSaved:  n.Acct.StaticSavedFrac(),
+		Drained:      drained,
+		GatingEvents: gatings,
+	}
+}

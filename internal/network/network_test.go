@@ -1,0 +1,206 @@
+package network
+
+import (
+	"testing"
+
+	"powerpunch/internal/config"
+	"powerpunch/internal/flit"
+	"powerpunch/internal/mesh"
+)
+
+func testConfig(s config.Scheme) config.Config {
+	cfg := config.Default()
+	cfg.Scheme = s
+	cfg.Width, cfg.Height = 4, 4
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 1 << 40
+	return cfg
+}
+
+func mustNew(t *testing.T, cfg config.Config) *Network {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n
+}
+
+// driverFunc adapts a function to the Driver interface.
+type driverFunc func(n *Network, now int64)
+
+func (f driverFunc) Tick(n *Network, now int64) { f(n, now) }
+func (driverFunc) Done() bool                   { return false }
+
+// deliverOne submits a single packet at cycle 0 and steps until delivery.
+func deliverOne(t *testing.T, cfg config.Config, src, dst mesh.NodeID, kind flit.Kind) (*Network, *flit.Packet, int64) {
+	t.Helper()
+	n := mustNew(t, cfg)
+	p := n.NewPacket(src, dst, flit.VNRequest, kind)
+	n.NI(src).Submit(p, true, 0)
+	for i := 0; i < 3000; i++ {
+		n.Step()
+		n.CheckInvariants()
+		if p.EjectedAt > 0 {
+			return n, p, n.Now()
+		}
+	}
+	t.Fatalf("packet %v not delivered after 3000 cycles (scheme %v)", p, cfg.Scheme)
+	return nil, nil, 0
+}
+
+func TestSingleControlPacketDeliveredNoPG(t *testing.T) {
+	cfg := testConfig(config.NoPG)
+	_, p, _ := deliverOne(t, cfg, 0, 15, flit.KindControl)
+	if p.EjectedAt <= p.CreatedAt {
+		t.Fatalf("bad timestamps: %+v", p)
+	}
+	if p.BlockedRouters != 0 || p.WakeupWait != 0 {
+		t.Errorf("No-PG packet should never block: blocked=%d wait=%d", p.BlockedRouters, p.WakeupWait)
+	}
+}
+
+func TestZeroLoadLatencyMatchesPipelineModel(t *testing.T) {
+	// A single control packet from 0 to 3 (3 hops east) on an idle,
+	// always-on network: latency = NILatency + Trouter (source router)
+	// + hops*(Trouter+Tlink) + Tlink (ejection).
+	cfg := testConfig(config.NoPG)
+	_, p, _ := deliverOne(t, cfg, 0, 3, flit.KindControl)
+
+	hops := 3
+	perHop := cfg.RouterCycles() + cfg.LinkLatency
+	want := int64(cfg.NILatency + cfg.RouterCycles() + hops*perHop + cfg.LinkLatency)
+	got := p.NetworkLatency()
+	if got != want {
+		t.Errorf("zero-load latency = %d, want about %d (injected=%d ejected=%d created=%d)",
+			got, want, p.InjectedAt, p.EjectedAt, p.CreatedAt)
+	}
+}
+
+func TestDataPacketWormholeDelivery(t *testing.T) {
+	for _, s := range config.Schemes {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := testConfig(s)
+			_, p, _ := deliverOne(t, cfg, 5, 10, flit.KindData)
+			if p.EjectedAt == 0 {
+				t.Fatal("data packet not delivered")
+			}
+		})
+	}
+}
+
+func TestAllSchemesDeliverCrossTraffic(t *testing.T) {
+	for _, s := range config.Schemes {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := testConfig(s)
+			n := mustNew(t, cfg)
+			var pkts []*flit.Packet
+			// Every node sends to its bit-complement peer.
+			for src := mesh.NodeID(0); n.M.Contains(src); src++ {
+				dst := mesh.NodeID(n.M.NumNodes() - 1 - int(src))
+				if dst == src {
+					continue
+				}
+				p := n.NewPacket(src, dst, flit.VNResponse, flit.KindData)
+				n.NI(src).Submit(p, true, 0)
+				pkts = append(pkts, p)
+			}
+			for i := 0; i < 5000 && !allDelivered(pkts); i++ {
+				n.Step()
+				if i%16 == 0 {
+					n.CheckInvariants()
+				}
+			}
+			for _, p := range pkts {
+				if p.EjectedAt == 0 {
+					t.Fatalf("packet %v undelivered", p)
+				}
+			}
+		})
+	}
+}
+
+func allDelivered(pkts []*flit.Packet) bool {
+	for _, p := range pkts {
+		if p.EjectedAt == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIdleNetworkGatesAllRouters(t *testing.T) {
+	cfg := testConfig(config.ConvOptPG)
+	n := mustNew(t, cfg)
+	for i := 0; i < 50; i++ {
+		n.Step()
+	}
+	if got := n.GatedRouterCount(); got != n.M.NumNodes() {
+		t.Errorf("idle network: %d routers gated, want %d", got, n.M.NumNodes())
+	}
+}
+
+func TestNoPGNeverGates(t *testing.T) {
+	cfg := testConfig(config.NoPG)
+	n := mustNew(t, cfg)
+	for i := 0; i < 100; i++ {
+		n.Step()
+	}
+	if got := n.GatedRouterCount(); got != 0 {
+		t.Errorf("No-PG gated %d routers", got)
+	}
+}
+
+func TestConvOptPacketSuffersWakeupLatency(t *testing.T) {
+	// With all routers gated, a ConvOpt packet must wait for wakeups;
+	// its blocked-router count and wait cycles must be positive.
+	cfg := testConfig(config.ConvOptPG)
+	n := mustNew(t, cfg)
+	for i := 0; i < 50; i++ { // let everything gate off
+		n.Step()
+	}
+	p := n.NewPacket(0, 15, flit.VNRequest, flit.KindControl)
+	n.NI(0).Submit(p, true, n.Now())
+	for i := 0; i < 2000 && p.EjectedAt == 0; i++ {
+		n.Step()
+	}
+	if p.EjectedAt == 0 {
+		t.Fatal("packet not delivered through gated network")
+	}
+	if p.BlockedRouters == 0 {
+		t.Error("expected the packet to encounter gated routers")
+	}
+	if p.WakeupWait == 0 {
+		t.Error("expected wakeup-wait cycles")
+	}
+}
+
+func TestPowerPunchHidesWakeupOnLongPath(t *testing.T) {
+	// From a cold (all-gated) network, a PowerPunch-PG packet on a long
+	// path should wait far less than a ConvOpt packet: the first hops
+	// are covered by NI slack and the rest by hop-count slack.
+	waits := map[config.Scheme]int64{}
+	for _, s := range []config.Scheme{config.ConvOptPG, config.PowerPunchPG} {
+		cfg := testConfig(s)
+		cfg.Width, cfg.Height = 8, 8
+		n := mustNew(t, cfg)
+		for i := 0; i < 60; i++ {
+			n.Step()
+		}
+		p := n.NewPacket(0, 63, flit.VNRequest, flit.KindControl)
+		n.NI(0).Submit(p, true, n.Now())
+		for i := 0; i < 3000 && p.EjectedAt == 0; i++ {
+			n.Step()
+		}
+		if p.EjectedAt == 0 {
+			t.Fatalf("%v: packet not delivered", s)
+		}
+		waits[s] = p.WakeupWait
+	}
+	if waits[config.PowerPunchPG] >= waits[config.ConvOptPG] {
+		t.Errorf("PowerPunch-PG wait (%d) should be below ConvOpt-PG wait (%d)",
+			waits[config.PowerPunchPG], waits[config.ConvOptPG])
+	}
+}

@@ -1,0 +1,60 @@
+package network
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"powerpunch/internal/config"
+	"powerpunch/internal/mesh"
+)
+
+func TestUtilizationReport(t *testing.T) {
+	cfg := testConfig(config.PowerPunchPG)
+	cfg.Width, cfg.Height = 4, 4
+	n := mustNew(t, cfg)
+	d := &randomDriver{rng: rand.New(rand.NewSource(21)), rate: 0.03, until: 1500}
+	for i := 0; i < 1500; i++ {
+		d.Tick(n, n.Now())
+		n.Step()
+	}
+	for i := 0; i < 3000 && !n.Quiesced(); i++ {
+		n.Step()
+	}
+	rep := n.Report()
+	if len(rep.Routers) != 16 {
+		t.Fatalf("routers = %d", len(rep.Routers))
+	}
+	tot := rep.Totals()
+	if tot.FlitsForwarded == 0 {
+		t.Error("no forwarded flits recorded")
+	}
+	if tot.GatingEvents == 0 {
+		t.Error("no gating events under a PG scheme")
+	}
+	hot := rep.Hottest(3)
+	if len(hot) != 3 || hot[0].FlitsForwarded < hot[2].FlitsForwarded {
+		t.Errorf("Hottest ordering: %+v", hot)
+	}
+	if f := rep.GatedFraction(mesh.NodeID(0)); f < 0 || f > 1 {
+		t.Errorf("gated fraction %v", f)
+	}
+	if s := rep.String(); !strings.Contains(s, "utilization") || !strings.Contains(s, "busiest") {
+		t.Errorf("report rendering: %q", s)
+	}
+}
+
+func TestReportOnIdleNetwork(t *testing.T) {
+	cfg := testConfig(config.NoPG)
+	n := mustNew(t, cfg)
+	for i := 0; i < 50; i++ {
+		n.Step()
+	}
+	rep := n.Report()
+	if tot := rep.Totals(); tot.FlitsForwarded != 0 || tot.GatingEvents != 0 {
+		t.Errorf("idle No-PG totals: %+v", tot)
+	}
+	if rep.String() == "" {
+		t.Error("empty report")
+	}
+}

@@ -1,0 +1,42 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"powerpunch/internal/config"
+)
+
+// TestSoakLongRun exercises 60k cycles of mixed traffic on an 8x8 mesh
+// under PowerPunch-PG with periodic invariant checks — the long-run
+// stability test. Skipped under -short.
+func TestSoakLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	cfg := config.Default()
+	cfg.Scheme = config.PowerPunchPG
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 1 << 40
+	n := mustNew(t, cfg)
+	d := &randomDriver{rng: rand.New(rand.NewSource(99)), rate: 0.012, until: 60_000}
+	for cyc := 0; cyc < 60_000; cyc++ {
+		d.Tick(n, n.Now())
+		n.Step()
+		if cyc%512 == 0 {
+			n.CheckInvariants()
+		}
+	}
+	for cyc := 0; cyc < 20_000 && !n.Quiesced(); cyc++ {
+		n.Step()
+	}
+	if !n.Quiesced() {
+		t.Fatal("soak run did not quiesce")
+	}
+	n.CheckInvariants()
+	for _, p := range d.pkts {
+		if p.EjectedAt == 0 {
+			t.Fatalf("soak lost packet %v", p)
+		}
+	}
+}

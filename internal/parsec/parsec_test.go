@@ -1,0 +1,91 @@
+package parsec
+
+import (
+	"testing"
+
+	"powerpunch/internal/cmp"
+	"powerpunch/internal/config"
+	"powerpunch/internal/network"
+)
+
+func TestAllBenchmarksResolve(t *testing.T) {
+	if len(Benchmarks) != 8 {
+		t.Fatalf("the paper evaluates 8 PARSEC benchmarks, have %d", len(Benchmarks))
+	}
+	for _, b := range Benchmarks {
+		p, err := Profile(b, 1000)
+		if err != nil {
+			t.Fatalf("Profile(%q): %v", b, err)
+		}
+		if p.Name != b || p.InstrPerCore != 1000 {
+			t.Errorf("%s: name/budget not applied: %+v", b, p)
+		}
+		if p.MPKI <= 0 || p.L2HitRate <= 0 || p.L2HitRate > 1 {
+			t.Errorf("%s: implausible parameters: %+v", b, p)
+		}
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := Profile("doom", 1); err == nil {
+		t.Error("expected error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProfile must panic on unknown name")
+		}
+	}()
+	MustProfile("doom", 1)
+}
+
+func TestWorkloadDiversity(t *testing.T) {
+	// The per-benchmark spread is what produces Figures 7-11's
+	// variation: canneal must be the most network-hungry profile and
+	// swaptions the least.
+	canneal := MustProfile("canneal", 1)
+	swaptions := MustProfile("swaptions", 1)
+	if canneal.MPKI <= 2*swaptions.MPKI {
+		t.Errorf("canneal (%.2f) should miss far more than swaptions (%.2f)",
+			canneal.MPKI, swaptions.MPKI)
+	}
+	bursty := 0
+	for _, b := range Benchmarks {
+		if MustProfile(b, 1).PhasePeriod > 0 {
+			bursty++
+		}
+	}
+	if bursty == 0 {
+		t.Error("at least one profile should exhibit phase behaviour")
+	}
+}
+
+func TestProfilesRunToCompletion(t *testing.T) {
+	// Every profile must complete on a small system under the punch
+	// scheme (smoke test for the full Figure 7-11 pipeline).
+	for _, b := range Benchmarks {
+		b := b
+		t.Run(b, func(t *testing.T) {
+			cfg := config.Default()
+			cfg.Scheme = config.PowerPunchPG
+			cfg.Width, cfg.Height = 4, 4
+			cfg.WarmupCycles = 0
+			cfg.MeasureCycles = 1 << 40
+			net, err := network.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys := cmp.NewSystem(MustProfile(b, 2000), net, 3)
+			res := net.RunUntil(sys, 300_000)
+			if !res.Drained {
+				t.Fatalf("%s did not complete", b)
+			}
+		})
+	}
+}
+
+func TestAverageLoadConstantSane(t *testing.T) {
+	if AverageLoadFlitsPerNodeCycle <= 0 || AverageLoadFlitsPerNodeCycle > 0.1 {
+		t.Errorf("PARSEC average load %v outside the paper's low-load regime",
+			AverageLoadFlitsPerNodeCycle)
+	}
+}

@@ -1,0 +1,261 @@
+// Package pg implements the per-router power-gating controller of the
+// paper's Section 2.2: a small always-on FSM that monitors datapath
+// emptiness and wakeup (WU) levels, gates the router off after an idle
+// timeout, asserts the PG signal to neighbors while the router is
+// unavailable, and wakes the router over Twakeup cycles when a WU or
+// punch signal arrives.
+//
+// The controller is policy-agnostic: the network computes its per-cycle
+// inputs (emptiness, WU level, punch hold) according to the scheme under
+// evaluation (ConvOpt early wakeup, Power Punch, ...), and the controller
+// applies the gating FSM. For the No-PG baseline the controller is
+// disabled and reports the router as permanently on.
+package pg
+
+import "fmt"
+
+// State is the gating FSM state.
+type State int
+
+// FSM states. Draining routers are fully functional (they are merely
+// counting idle cycles); Gated and Waking routers are unavailable and
+// assert PG to their neighbors.
+const (
+	Active State = iota
+	Draining
+	Gated
+	Waking
+)
+
+// String returns a short state name.
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Draining:
+		return "draining"
+	case Gated:
+		return "gated"
+	case Waking:
+		return "waking"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Inputs are the controller's per-cycle observations, computed by the
+// network for the scheme under test.
+type Inputs struct {
+	// Empty reports that the router datapath holds no flits and none are
+	// in flight toward it.
+	Empty bool
+	// Wakeup is the merged WU level from neighbors and the local NI.
+	Wakeup bool
+	// PunchHold is asserted when a punch signal names this router or
+	// transits it this cycle (Power Punch schemes only): the router must
+	// wake if gated and must not gate off.
+	PunchHold bool
+}
+
+// Stats counts controller activity for energy accounting and analysis.
+type Stats struct {
+	GatingEvents  int64 // completed power-off decisions
+	GatedCycles   int64 // cycles spent in Gated
+	WakingCycles  int64 // cycles spent in Waking
+	ShortGatings  int64 // gated periods shorter than the break-even time
+	WakeupsPunch  int64 // wakeups triggered by punch signals
+	WakeupsWU     int64 // wakeups triggered by plain WU level
+	SleepsBlocked int64 // timeout expiries vetoed by a punch hold
+}
+
+// Controller is one router's power-gating controller. The zero value is
+// unusable; use New.
+type Controller struct {
+	enabled bool
+	timeout int // idle cycles before gating (>= 2)
+	wakeup  int // Twakeup
+
+	state     State
+	idleCnt   int
+	wakeCnt   int
+	gatedFor  int64 // cycles in current gated period
+	breakEven int64
+
+	// Adaptive throttle (extension, off by default): when the recent
+	// average gated-period length falls below the break-even time,
+	// gating is counter-productive churn, so the controller backs off
+	// for a while. See SetAdaptiveThrottle.
+	adaptive     bool
+	gatedEWMA    float64
+	ewmaSamples  int
+	throttleLeft int64
+
+	stats Stats
+
+	// onGate/onWake are optional energy-accounting callbacks.
+	onGate func()
+	onWake func()
+}
+
+// New returns a controller. enabled=false yields a permanently-Active
+// controller (the No-PG baseline). timeout is the idle filter (paper: 4,
+// minimum 2) and wakeupLatency is Twakeup (paper: 8). breakEven is used
+// only for the ShortGatings statistic.
+func New(enabled bool, timeout, wakeupLatency int, breakEven int) *Controller {
+	if enabled && timeout < 2 {
+		panic(fmt.Sprintf("pg: timeout must be >= 2, got %d", timeout))
+	}
+	if enabled && wakeupLatency < 1 {
+		panic(fmt.Sprintf("pg: wakeup latency must be >= 1, got %d", wakeupLatency))
+	}
+	return &Controller{
+		enabled:   enabled,
+		timeout:   timeout,
+		wakeup:    wakeupLatency,
+		state:     Active,
+		breakEven: int64(breakEven),
+	}
+}
+
+// SetHooks registers energy-accounting callbacks: onWake fires once per
+// gating event when the wake transition begins (the paper charges the
+// full sleep+wake overhead there).
+func (c *Controller) SetHooks(onGate, onWake func()) {
+	c.onGate, c.onWake = onGate, onWake
+}
+
+// Adaptive back-off tuning: gating pauses for throttleWindow cycles
+// whenever the exponentially-weighted average gated-period length
+// (computed over at least throttleMinSamples events, decay
+// throttleDecay) drops below the break-even time.
+const (
+	throttleWindow     = 4096
+	throttleMinSamples = 4
+	throttleDecay      = 0.75
+)
+
+// SetAdaptiveThrottle enables the churn back-off extension: gating
+// pauses for a window whenever the recent average gated-period length
+// fails to reach the break-even time (medium-load churn turns power
+// gating into a net energy loss; the paper's fixed timeout cannot
+// detect this).
+func (c *Controller) SetAdaptiveThrottle(v bool) { c.adaptive = v }
+
+// State returns the current FSM state.
+func (c *Controller) State() State { return c.state }
+
+// IsOn reports whether the router datapath is powered and functional
+// (Active or Draining).
+func (c *Controller) IsOn() bool { return c.state == Active || c.state == Draining }
+
+// PGAsserted reports whether the PG (unavailable) signal is asserted to
+// neighbors: true while Gated or Waking, matching the paper's handshake
+// ("the packet is stalled ... until router A is fully awoken and the PG
+// signal is cleared").
+func (c *Controller) PGAsserted() bool { return c.state == Gated || c.state == Waking }
+
+// Enabled reports whether power gating is active at all.
+func (c *Controller) Enabled() bool { return c.enabled }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// WakeRemaining returns the cycles left before a Waking router becomes
+// Active (0 otherwise).
+func (c *Controller) WakeRemaining() int {
+	if c.state == Waking {
+		return c.wakeCnt
+	}
+	return 0
+}
+
+// Step advances the FSM by one cycle given this cycle's observations.
+// Call exactly once per simulation cycle; the resulting state governs the
+// next cycle.
+func (c *Controller) Step(in Inputs) {
+	if !c.enabled {
+		return
+	}
+	if c.throttleLeft > 0 {
+		c.throttleLeft--
+	}
+	switch c.state {
+	case Active, Draining:
+		if !in.Empty || in.Wakeup || in.PunchHold {
+			c.state = Active
+			c.idleCnt = 0
+			return
+		}
+		c.idleCnt++
+		if c.idleCnt < c.timeout {
+			c.state = Draining
+			return
+		}
+		if c.adaptive && c.throttleLeft > 0 {
+			c.state = Draining // back-off: recent gatings were churn
+			c.stats.SleepsBlocked++
+			return
+		}
+		// Timeout expired with a quiet datapath: gate off.
+		c.state = Gated
+		c.idleCnt = 0
+		c.gatedFor = 0
+		if c.onGate != nil {
+			c.onGate()
+		}
+	case Gated:
+		c.stats.GatedCycles++
+		c.gatedFor++
+		if in.Wakeup || in.PunchHold {
+			if in.PunchHold {
+				c.stats.WakeupsPunch++
+			} else {
+				c.stats.WakeupsWU++
+			}
+			c.beginWake()
+		}
+	case Waking:
+		c.stats.WakingCycles++
+		c.wakeCnt--
+		if c.wakeCnt <= 0 {
+			c.state = Active
+			c.idleCnt = 0
+		}
+	}
+}
+
+func (c *Controller) beginWake() {
+	c.state = Waking
+	// The WU was observed this cycle (counted Gated); wakeup-1 further
+	// Waking cycles make the router usable exactly Twakeup cycles after
+	// the WU assertion.
+	c.wakeCnt = c.wakeup - 1
+	c.stats.GatingEvents++
+	short := c.gatedFor < c.breakEven
+	if short {
+		c.stats.ShortGatings++
+	}
+	if c.adaptive {
+		if c.ewmaSamples == 0 {
+			c.gatedEWMA = float64(c.gatedFor)
+		} else {
+			c.gatedEWMA = throttleDecay*c.gatedEWMA + (1-throttleDecay)*float64(c.gatedFor)
+		}
+		c.ewmaSamples++
+		if c.ewmaSamples >= throttleMinSamples && c.gatedEWMA < float64(c.breakEven) {
+			c.throttleLeft = throttleWindow
+			c.ewmaSamples = 0 // re-sample fresh after the pause
+		}
+	}
+	if c.onWake != nil {
+		c.onWake()
+	}
+}
+
+// ForceWake immediately begins waking a gated router (used by tests and
+// by drain logic at the end of a simulation).
+func (c *Controller) ForceWake() {
+	if c.state == Gated {
+		c.beginWake()
+	}
+}

@@ -1,0 +1,268 @@
+// Package power implements the event-based router energy model used to
+// reproduce the paper's energy results (Figures 11 and 12). Its structure
+// follows DSENT-style NoC power modelling at 45 nm: dynamic energy is
+// charged per microarchitectural event (buffer write/read, arbitration,
+// crossbar traversal, link traversal), static energy per cycle per
+// powered-on router, and power-gating overhead per sleep/wake transition.
+//
+// The constants are calibrated so that, at PARSEC-like loads on the
+// paper's minimal 8x8 configuration, static power is ~64% of total router
+// power (paper Section 2.1) and the break-even time is 10 cycles (paper
+// Section 5): gating for fewer than BET cycles wastes energy, exactly as
+// in the paper's accounting.
+package power
+
+// Constants is the set of per-event energies (joules) and per-cycle
+// powers used by the model. The zero value is useless; start from
+// DefaultConstants.
+type Constants struct {
+	CycleTime float64 // seconds per cycle
+
+	// Dynamic energy per flit per event (J).
+	EBufferWrite float64
+	EBufferRead  float64
+	EArbitration float64 // VC + switch allocation per traversing flit
+	ECrossbar    float64
+	ELink        float64
+
+	// EPunchHop is the dynamic energy of asserting one punch channel for
+	// one cycle (the narrow 5-bit/2-bit sideband of Figure 5 plus its
+	// relay logic). Charged to power-gating overhead.
+	EPunchHop float64
+
+	// EWakeupSignal is the energy of one WU/PG handshake assertion.
+	EWakeupSignal float64
+
+	// PStaticRouter is the leakage power of one powered-on router (W).
+	PStaticRouter float64
+
+	// GatedLeakFrac is the fraction of PStaticRouter still leaking while
+	// gated (sleep-switch and always-on PG controller leakage).
+	GatedLeakFrac float64
+
+	// BreakEvenCycles converts to the per-gating-event overhead: one
+	// sleep/wake round trip (charging the power rail, distributing the
+	// sleep signal) costs BreakEvenCycles * PStaticRouter * CycleTime.
+	BreakEvenCycles int
+}
+
+// DefaultConstants returns the 45 nm, 2 GHz calibration described in the
+// package comment.
+func DefaultConstants() Constants {
+	return Constants{
+		CycleTime: 0.5e-9, // 2 GHz
+
+		EBufferWrite: 85.0e-12,
+		EBufferRead:  70.0e-12,
+		EArbitration: 15.0e-12,
+		ECrossbar:    110.0e-12,
+		ELink:        140.0e-12,
+
+		EPunchHop:     0.12e-12,
+		EWakeupSignal: 0.05e-12,
+
+		PStaticRouter: 28.0e-3, // 28 mW leakage per router
+		GatedLeakFrac: 0.0,
+
+		BreakEvenCycles: 10,
+	}
+}
+
+// EStaticCycle returns the leakage energy of one powered-on router for
+// one cycle.
+func (c Constants) EStaticCycle() float64 { return c.PStaticRouter * c.CycleTime }
+
+// EGatingOverhead returns the energy overhead of one complete power-gating
+// event (power off + wake up), the quantity whose ratio to per-cycle
+// leakage defines the break-even time.
+func (c Constants) EGatingOverhead() float64 {
+	return float64(c.BreakEvenCycles) * c.EStaticCycle()
+}
+
+// RouterState is the power-relevant state of a router during a cycle.
+type RouterState int
+
+// Power-relevant router states. WakingUp routers leak like powered-on
+// ones (the rail is charging) but cannot do work.
+const (
+	On RouterState = iota
+	Gated
+	WakingUp
+)
+
+// Breakdown is an energy decomposition in joules, matching the three bars
+// of the paper's Figure 11.
+type Breakdown struct {
+	Dynamic  float64 // buffers, allocators, crossbars, links
+	Static   float64 // leakage while on or waking
+	Overhead float64 // gating transitions, punch & wakeup signalling
+}
+
+// Total returns the summed energy.
+func (b Breakdown) Total() float64 { return b.Dynamic + b.Static + b.Overhead }
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Dynamic += o.Dynamic
+	b.Static += o.Static
+	b.Overhead += o.Overhead
+}
+
+// Accountant accumulates energy for a network of routers. It is not
+// concurrency-safe; the simulator drives it from the single cycle loop.
+type Accountant struct {
+	C       Constants
+	enabled bool
+
+	perRouter []Breakdown
+	cycles    int64 // enabled cycles accumulated
+
+	// Event counters (for reporting and tests).
+	BufferWrites int64
+	BufferReads  int64
+	Crossbars    int64
+	LinkHops     int64
+	PunchHops    int64
+	WakeupSigs   int64
+	GatingEvents int64
+	GatedCycles  int64 // router-cycles spent gated
+	OnCycles     int64 // router-cycles spent on or waking
+}
+
+// NewAccountant returns an accountant for n routers using constants c.
+// Accounting starts disabled (warmup); call SetEnabled(true) at the start
+// of the measurement window.
+func NewAccountant(n int, c Constants) *Accountant {
+	return &Accountant{C: c, perRouter: make([]Breakdown, n)}
+}
+
+// SetEnabled turns accounting on or off (off during warmup and drain of
+// unmeasured traffic).
+func (a *Accountant) SetEnabled(v bool) { a.enabled = v }
+
+// Enabled reports whether accounting is active.
+func (a *Accountant) Enabled() bool { return a.enabled }
+
+// TickStatic charges one cycle of leakage for router r in state s, and
+// must be called exactly once per router per cycle.
+func (a *Accountant) TickStatic(r int, s RouterState) {
+	if !a.enabled {
+		return
+	}
+	switch s {
+	case Gated:
+		a.GatedCycles++
+		if a.C.GatedLeakFrac > 0 {
+			a.perRouter[r].Static += a.C.GatedLeakFrac * a.C.EStaticCycle()
+		}
+	default:
+		a.OnCycles++
+		a.perRouter[r].Static += a.C.EStaticCycle()
+	}
+}
+
+// TickCycle advances the accountant's notion of elapsed measured time by
+// one cycle. Call once per network cycle.
+func (a *Accountant) TickCycle() {
+	if a.enabled {
+		a.cycles++
+	}
+}
+
+// Cycles returns the number of measured cycles.
+func (a *Accountant) Cycles() int64 { return a.cycles }
+
+// BufferWrite charges a flit buffer write at router r.
+func (a *Accountant) BufferWrite(r int) {
+	if !a.enabled {
+		return
+	}
+	a.BufferWrites++
+	a.perRouter[r].Dynamic += a.C.EBufferWrite
+}
+
+// Traverse charges a flit's buffer read, arbitration, and crossbar
+// traversal at router r (the switch-traversal event).
+func (a *Accountant) Traverse(r int) {
+	if !a.enabled {
+		return
+	}
+	a.BufferReads++
+	a.Crossbars++
+	a.perRouter[r].Dynamic += a.C.EBufferRead + a.C.EArbitration + a.C.ECrossbar
+}
+
+// LinkHop charges a flit's traversal of one inter-router link, attributed
+// to the sending router r.
+func (a *Accountant) LinkHop(r int) {
+	if !a.enabled {
+		return
+	}
+	a.LinkHops++
+	a.perRouter[r].Dynamic += a.C.ELink
+}
+
+// PunchHop charges one cycle of punch-channel assertion leaving router r.
+func (a *Accountant) PunchHop(r int) {
+	if !a.enabled {
+		return
+	}
+	a.PunchHops++
+	a.perRouter[r].Overhead += a.C.EPunchHop
+}
+
+// WakeupSignal charges one WU/PG handshake assertion at router r.
+func (a *Accountant) WakeupSignal(r int) {
+	if !a.enabled {
+		return
+	}
+	a.WakeupSigs++
+	a.perRouter[r].Overhead += a.C.EWakeupSignal
+}
+
+// GatingEvent charges the sleep/wake round-trip overhead of one
+// power-gating event at router r (charged when the router begins waking).
+func (a *Accountant) GatingEvent(r int) {
+	if !a.enabled {
+		return
+	}
+	a.GatingEvents++
+	a.perRouter[r].Overhead += a.C.EGatingOverhead()
+}
+
+// Router returns router r's accumulated breakdown.
+func (a *Accountant) Router(r int) Breakdown { return a.perRouter[r] }
+
+// Network returns the network-wide breakdown.
+func (a *Accountant) Network() Breakdown {
+	var total Breakdown
+	for i := range a.perRouter {
+		total.Add(a.perRouter[i])
+	}
+	return total
+}
+
+// AvgStaticPower returns the average network static power in watts over
+// the measured window, counting gating overhead as static (the paper's
+// "net static energy" convention for Figures 11 and 12).
+func (a *Accountant) AvgStaticPower() float64 {
+	if a.cycles == 0 {
+		return 0
+	}
+	b := a.Network()
+	return (b.Static + b.Overhead) / (float64(a.cycles) * a.C.CycleTime)
+}
+
+// StaticSavedFrac returns the fraction of No-PG static energy saved:
+// 1 - (static+overhead) / (routers * cycles * EStaticCycle).
+func (a *Accountant) StaticSavedFrac() float64 {
+	if a.cycles == 0 {
+		return 0
+	}
+	baseline := float64(len(a.perRouter)) * float64(a.cycles) * a.C.EStaticCycle()
+	if baseline == 0 {
+		return 0
+	}
+	b := a.Network()
+	return 1 - (b.Static+b.Overhead)/baseline
+}

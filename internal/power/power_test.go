@@ -1,0 +1,151 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBreakEvenIdentity(t *testing.T) {
+	// The defining property of the break-even time: the overhead of one
+	// gating event equals BET cycles of leakage. Gating for exactly BET
+	// cycles is therefore energy-neutral.
+	c := DefaultConstants()
+	if got, want := c.EGatingOverhead(), float64(c.BreakEvenCycles)*c.EStaticCycle(); math.Abs(got-want) > 1e-18 {
+		t.Errorf("EGatingOverhead = %g, want %g", got, want)
+	}
+}
+
+func TestGatingForBreakEvenCyclesIsEnergyNeutral(t *testing.T) {
+	c := DefaultConstants()
+
+	// Router A: stays on for BET cycles. Router B: gated for BET cycles,
+	// then charged one gating event. Net static+overhead must be equal.
+	a := NewAccountant(2, c)
+	a.SetEnabled(true)
+	for i := 0; i < c.BreakEvenCycles; i++ {
+		a.TickStatic(0, On)
+		a.TickStatic(1, Gated)
+		a.TickCycle()
+	}
+	a.GatingEvent(1)
+	eA := a.Router(0)
+	eB := a.Router(1)
+	if math.Abs((eA.Static+eA.Overhead)-(eB.Static+eB.Overhead)) > 1e-18 {
+		t.Errorf("break-even violated: on=%g gated=%g", eA.Static+eA.Overhead, eB.Static+eB.Overhead)
+	}
+}
+
+func TestDisabledAccountantChargesNothing(t *testing.T) {
+	a := NewAccountant(1, DefaultConstants())
+	a.TickStatic(0, On)
+	a.BufferWrite(0)
+	a.Traverse(0)
+	a.LinkHop(0)
+	a.PunchHop(0)
+	a.GatingEvent(0)
+	a.TickCycle()
+	if tot := a.Network().Total(); tot != 0 {
+		t.Errorf("disabled accountant accumulated %g J", tot)
+	}
+	if a.Cycles() != 0 {
+		t.Error("disabled accountant counted cycles")
+	}
+}
+
+func TestEventEnergies(t *testing.T) {
+	c := DefaultConstants()
+	a := NewAccountant(1, c)
+	a.SetEnabled(true)
+	a.BufferWrite(0)
+	a.Traverse(0)
+	a.LinkHop(0)
+	want := c.EBufferWrite + c.EBufferRead + c.EArbitration + c.ECrossbar + c.ELink
+	if got := a.Router(0).Dynamic; math.Abs(got-want) > 1e-18 {
+		t.Errorf("dynamic = %g, want %g", got, want)
+	}
+	if a.BufferWrites != 1 || a.BufferReads != 1 || a.Crossbars != 1 || a.LinkHops != 1 {
+		t.Error("event counters")
+	}
+}
+
+func TestWakingLeaksLikeOn(t *testing.T) {
+	a := NewAccountant(2, DefaultConstants())
+	a.SetEnabled(true)
+	a.TickStatic(0, On)
+	a.TickStatic(1, WakingUp)
+	if a.Router(0).Static != a.Router(1).Static {
+		t.Error("a waking router must leak like a powered-on one")
+	}
+}
+
+func TestGatedLeakFraction(t *testing.T) {
+	c := DefaultConstants()
+	c.GatedLeakFrac = 0.1
+	a := NewAccountant(1, c)
+	a.SetEnabled(true)
+	a.TickStatic(0, Gated)
+	want := 0.1 * c.EStaticCycle()
+	if got := a.Router(0).Static; math.Abs(got-want) > 1e-20 {
+		t.Errorf("gated leak = %g, want %g", got, want)
+	}
+}
+
+func TestStaticSavedFrac(t *testing.T) {
+	c := DefaultConstants()
+	a := NewAccountant(1, c)
+	a.SetEnabled(true)
+	// 100 cycles: 25 on, 75 gated, no overhead => 75% saved.
+	for i := 0; i < 100; i++ {
+		if i < 25 {
+			a.TickStatic(0, On)
+		} else {
+			a.TickStatic(0, Gated)
+		}
+		a.TickCycle()
+	}
+	if got := a.StaticSavedFrac(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("StaticSavedFrac = %g, want 0.75", got)
+	}
+}
+
+func TestAvgStaticPowerAlwaysOn(t *testing.T) {
+	// A single always-on router's average static power equals its
+	// leakage power.
+	c := DefaultConstants()
+	a := NewAccountant(1, c)
+	a.SetEnabled(true)
+	for i := 0; i < 1000; i++ {
+		a.TickStatic(0, On)
+		a.TickCycle()
+	}
+	if got := a.AvgStaticPower(); math.Abs(got-c.PStaticRouter) > 1e-9 {
+		t.Errorf("AvgStaticPower = %g, want %g", got, c.PStaticRouter)
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	b := Breakdown{Dynamic: 1, Static: 2, Overhead: 3}
+	b.Add(Breakdown{Dynamic: 10, Static: 20, Overhead: 30})
+	if b.Dynamic != 11 || b.Static != 22 || b.Overhead != 33 || b.Total() != 66 {
+		t.Errorf("Add/Total: %+v", b)
+	}
+}
+
+func TestNetworkAggregates(t *testing.T) {
+	a := NewAccountant(3, DefaultConstants())
+	a.SetEnabled(true)
+	a.BufferWrite(0)
+	a.BufferWrite(1)
+	a.BufferWrite(2)
+	want := 3 * a.C.EBufferWrite
+	if got := a.Network().Dynamic; math.Abs(got-want) > 1e-18 {
+		t.Errorf("network dynamic = %g, want %g", got, want)
+	}
+}
+
+func TestZeroCycleGuards(t *testing.T) {
+	a := NewAccountant(1, DefaultConstants())
+	if a.AvgStaticPower() != 0 || a.StaticSavedFrac() != 0 {
+		t.Error("zero-cycle accountant must report zeros, not NaN")
+	}
+}

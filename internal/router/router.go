@@ -1,0 +1,432 @@
+// Package router implements the cycle-accurate wormhole virtual-channel
+// router of the paper's Figure 3: input-buffered, credit-based flow
+// control, per-virtual-network VCs, look-ahead routing, and either a
+// 4-stage pipeline (BW, VA, SA, ST) or the 3-stage variant with
+// speculative switch allocation. Power-gating integration follows
+// Figure 2: a gated or waking neighbor is masked in the switch allocator
+// and traffic toward it stalls, accruing the paper's blocking statistics.
+package router
+
+import (
+	"fmt"
+
+	"powerpunch/internal/config"
+	"powerpunch/internal/flit"
+	"powerpunch/internal/link"
+	"powerpunch/internal/mesh"
+	"powerpunch/internal/pg"
+	"powerpunch/internal/power"
+	"powerpunch/internal/routing"
+)
+
+// Credit is the upstream flow-control token: one buffer slot freed in
+// virtual channel VC of the receiving input port.
+type Credit struct {
+	VC int
+}
+
+// FlitInTransit pairs a flit with the downstream virtual channel it was
+// allocated to.
+type FlitInTransit struct {
+	Flit *flit.Flit
+	VC   int
+}
+
+// vc is one input virtual channel: a FIFO of flits plus the routing state
+// of the packet currently at its front.
+type vc struct {
+	idx   int // global VC index within the port
+	depth int
+
+	buf []*flit.Flit
+	arr []int64 // arrival cycle of each buffered flit
+
+	// State of the packet currently being forwarded through this VC.
+	routed      bool // output direction computed (look-ahead RC)
+	vaDone      bool // downstream VC allocated
+	outDir      mesh.Direction
+	outVC       int
+	blockedOnce bool // current head already counted as PG-blocked
+}
+
+func (v *vc) empty() bool         { return len(v.buf) == 0 }
+func (v *vc) front() *flit.Flit   { return v.buf[0] }
+func (v *vc) frontArrival() int64 { return v.arr[0] }
+
+func (v *vc) push(f *flit.Flit, now int64) {
+	v.buf = append(v.buf, f)
+	v.arr = append(v.arr, now)
+}
+
+func (v *vc) pop() *flit.Flit {
+	f := v.buf[0]
+	v.buf = v.buf[:copy(v.buf, v.buf[1:])]
+	v.arr = v.arr[:copy(v.arr, v.arr[1:])]
+	return f
+}
+
+// InputPort is one of the router's five input ports.
+type InputPort struct {
+	dir mesh.Direction
+	vcs []*vc
+	// CreditOut carries freed-slot credits back to the upstream router
+	// (or the local NI for the Local port). Owned by the network.
+	CreditOut *link.Pipe[Credit]
+}
+
+// OutputPort is one of the router's five output ports.
+type OutputPort struct {
+	dir      mesh.Direction
+	neighbor mesh.NodeID // Invalid for Local and mesh edges
+	// FlitOut carries flits to the downstream input port (or NI).
+	FlitOut *link.Pipe[FlitInTransit]
+	credits []int
+	owner   []int // per downstream VC: global input-VC key, or -1
+	// Blocked is set by the network each cycle when the downstream
+	// router asserts PG (gated or waking): the switch allocator masks
+	// this output.
+	Blocked bool
+}
+
+// Neighbor returns the downstream router (Invalid for Local/edges).
+func (op *OutputPort) Neighbor() mesh.NodeID { return op.neighbor }
+
+// Credits returns the available credit count for downstream VC v.
+func (op *OutputPort) Credits(v int) int { return op.credits[v] }
+
+// Router is one mesh router.
+type Router struct {
+	ID   mesh.NodeID
+	cfg  *config.Config
+	m    *mesh.Mesh
+	Ctrl *pg.Controller
+
+	in   [mesh.NumPorts]*InputPort
+	out  [mesh.NumPorts]*OutputPort
+	acct *power.Accountant
+
+	numVCs   int // per port
+	buffered int // total flits buffered (fast idle check)
+	swRR     [mesh.NumPorts]int
+	trouter  int64
+
+	// Stats.
+	FlitsForwarded int64
+	PGStallCycles  int64
+}
+
+// New constructs a router. Pipes for output flits and input credits are
+// created here with the configured link latency; the network wires them
+// to neighbors. ctrl must be non-nil (use a disabled controller for the
+// No-PG baseline). acct may be nil.
+func New(id mesh.NodeID, m *mesh.Mesh, cfg *config.Config, ctrl *pg.Controller, acct *power.Accountant) *Router {
+	numVCs := int(flit.NumVirtualNetworks) * cfg.VCsPerVN()
+	r := &Router{
+		ID:      id,
+		cfg:     cfg,
+		m:       m,
+		Ctrl:    ctrl,
+		acct:    acct,
+		numVCs:  numVCs,
+		trouter: int64(cfg.RouterCycles()),
+	}
+	for p := 0; p < mesh.NumPorts; p++ {
+		dir := mesh.Direction(p)
+		ip := &InputPort{
+			dir:       dir,
+			CreditOut: link.NewPipe[Credit](cfg.LinkLatency),
+		}
+		for v := 0; v < numVCs; v++ {
+			ip.vcs = append(ip.vcs, &vc{idx: v, depth: cfg.VCDepth(v % cfg.VCsPerVN())})
+		}
+		r.in[p] = ip
+
+		op := &OutputPort{
+			dir:      dir,
+			neighbor: mesh.Invalid,
+			FlitOut:  link.NewPipe[FlitInTransit](cfg.LinkLatency),
+			credits:  make([]int, numVCs),
+			owner:    make([]int, numVCs),
+		}
+		if dir != mesh.Local {
+			op.neighbor = m.Neighbor(id, dir)
+		}
+		for v := range op.credits {
+			if dir == mesh.Local {
+				// The NI ejection sink always accepts (responses must
+				// always sink for protocol deadlock freedom).
+				op.credits[v] = 1 << 30
+			} else {
+				op.credits[v] = cfg.VCDepth(v % cfg.VCsPerVN())
+			}
+			op.owner[v] = -1
+		}
+		r.out[p] = op
+	}
+	return r
+}
+
+// In returns the input port on side d.
+func (r *Router) In(d mesh.Direction) *InputPort { return r.in[d] }
+
+// Out returns the output port on side d.
+func (r *Router) Out(d mesh.Direction) *OutputPort { return r.out[d] }
+
+// NumVCs returns the number of virtual channels per port.
+func (r *Router) NumVCs() int { return r.numVCs }
+
+// BufferedFlits returns the number of flits currently buffered.
+func (r *Router) BufferedFlits() int { return r.buffered }
+
+// Empty reports whether the router datapath holds no flits.
+func (r *Router) Empty() bool { return r.buffered == 0 }
+
+// ReceiveFlit writes an arriving flit into input port side d, virtual
+// channel vcIdx (the VC the upstream allocator chose). The caller
+// guarantees buffer space (credit-based flow control).
+func (r *Router) ReceiveFlit(d mesh.Direction, vcIdx int, f *flit.Flit, now int64) {
+	v := r.in[d].vcs[vcIdx]
+	if len(v.buf) >= v.depth {
+		panic(fmt.Sprintf("router %d: VC overflow on %v vc%d (credit protocol violated)", r.ID, d, vcIdx))
+	}
+	v.push(f, now)
+	r.buffered++
+	if r.acct != nil {
+		r.acct.BufferWrite(int(r.ID))
+	}
+}
+
+// CanAcceptFlit reports whether input port d, VC vcIdx has buffer space.
+// The NI, which plays the upstream-router role on the Local port, keeps
+// its own credit count; this is for tests and assertions.
+func (r *Router) CanAcceptFlit(d mesh.Direction, vcIdx int) bool {
+	v := r.in[d].vcs[vcIdx]
+	return len(v.buf) < v.depth
+}
+
+// ReceiveCredit restores one credit for output port d, VC vcIdx.
+func (r *Router) ReceiveCredit(d mesh.Direction, vcIdx int) {
+	r.out[d].credits[vcIdx]++
+}
+
+// VCOccupancy returns the number of flits buffered in input port d,
+// virtual channel v (used by the network's invariant checks).
+func (r *Router) VCOccupancy(d mesh.Direction, v int) int {
+	return len(r.in[d].vcs[v].buf)
+}
+
+// vcKey packs (input port, vc index) into a single arbitration key.
+func (r *Router) vcKey(port, vcIdx int) int { return port*r.numVCs + vcIdx }
+
+// Step advances the router one cycle: switch traversal first, then VC
+// allocation / route computation, so a flit moves through at most one
+// stage per cycle. A gated or waking router does nothing (its datapath
+// is unpowered — and provably empty, since gating requires emptiness).
+func (r *Router) Step(now int64) {
+	if r.buffered == 0 || !r.Ctrl.IsOn() {
+		return
+	}
+	r.stepST(now)
+	r.stepVA(now)
+}
+
+// stepST performs switch allocation + traversal: for every output port,
+// pick one eligible input VC round-robin and forward its front flit. For
+// an output masked by a gated/waking neighbor it instead accrues the
+// paper's per-packet blocking statistics (Figures 9 and 10).
+func (r *Router) stepST(now int64) {
+	total := mesh.NumPorts * r.numVCs
+	for p := 0; p < mesh.NumPorts; p++ {
+		op := r.out[p]
+		if op.Blocked {
+			// Downstream router is gated or waking: every pipeline-ready
+			// packet headed there is stalled by power gating.
+			for ip := 0; ip < mesh.NumPorts; ip++ {
+				for vi := 0; vi < r.numVCs; vi++ {
+					v := r.in[ip].vcs[vi]
+					if v.empty() || !v.routed || int(v.outDir) != p {
+						continue
+					}
+					if now-v.frontArrival() < r.trouter {
+						continue
+					}
+					r.PGStallCycles++
+					pkt := v.front().Packet
+					pkt.WakeupWait++
+					if !v.blockedOnce {
+						v.blockedOnce = true
+						pkt.BlockedRouters++
+					}
+				}
+			}
+			continue
+		}
+
+		for k := 0; k < total; k++ {
+			key := (r.swRR[p] + k) % total
+			ip, vi := key/r.numVCs, key%r.numVCs
+			v := r.in[ip].vcs[vi]
+			if v.empty() || !v.routed || int(v.outDir) != p || !v.vaDone {
+				continue
+			}
+			if now-v.frontArrival() < r.trouter {
+				continue // pipeline depth not yet traversed
+			}
+			if op.credits[v.outVC] <= 0 {
+				continue // no downstream buffer space
+			}
+
+			// Grant: traverse the switch and the link.
+			r.swRR[p] = (key + 1) % total
+			out := v.pop()
+			r.buffered--
+			op.credits[v.outVC]--
+			op.FlitOut.Push(FlitInTransit{Flit: out, VC: v.outVC}, now)
+			r.FlitsForwarded++
+			if r.acct != nil {
+				r.acct.Traverse(int(r.ID))
+				if op.dir != mesh.Local {
+					r.acct.LinkHop(int(r.ID))
+				}
+			}
+			// Return the freed slot upstream.
+			r.in[ip].CreditOut.Push(Credit{VC: vi}, now)
+
+			if out.Type.IsTail() {
+				// Release the downstream VC and the per-packet state.
+				op.owner[v.outVC] = -1
+				v.routed = false
+				v.vaDone = false
+				v.blockedOnce = false
+			}
+			break // one flit per output port per cycle
+		}
+	}
+}
+
+// stepVA computes routes for newly-arrived heads (look-ahead RC costs no
+// extra stage) and allocates downstream VCs. VA is eligible one cycle
+// after head arrival (stage 2); the speculative 3-stage router differs
+// only in total pipeline depth (config.RouterCycles), modelling
+// always-successful speculation at low load — allocation conflicts add
+// their own cycles naturally.
+func (r *Router) stepVA(now int64) {
+	for p := 0; p < mesh.NumPorts; p++ {
+		for vi := 0; vi < r.numVCs; vi++ {
+			v := r.in[p].vcs[vi]
+			if v.empty() {
+				continue
+			}
+			f := v.front()
+			if !f.Type.IsHead() {
+				continue // body/tail follow the established route
+			}
+			if !v.routed {
+				// Route computation (look-ahead: available on arrival).
+				v.outDir = routing.XY(r.m, r.ID, f.Dst())
+				v.routed = true
+				v.blockedOnce = false
+			}
+			if v.vaDone {
+				continue
+			}
+			if now-v.frontArrival() < 1 {
+				continue // VA is pipeline stage 2
+			}
+			op := r.out[v.outDir]
+			if got, ov := r.allocVC(op, f, p, vi); got {
+				v.vaDone = true
+				v.outVC = ov
+			}
+		}
+	}
+}
+
+// allocVC tries to allocate a downstream VC at output port op for packet
+// head f arriving on (port, vcIdx). Data packets use data VCs; control
+// packets prefer the control VC and fall back to data VCs.
+func (r *Router) allocVC(op *OutputPort, f *flit.Flit, port, vcIdx int) (bool, int) {
+	perVN := r.cfg.VCsPerVN()
+	base := int(f.Packet.VN) * perVN
+	key := r.vcKey(port, vcIdx)
+
+	tryRange := func(lo, hi int) (bool, int) {
+		for v := lo; v < hi; v++ {
+			if op.owner[v] == -1 {
+				op.owner[v] = key
+				return true, v
+			}
+		}
+		return false, -1
+	}
+
+	if f.Packet.Kind == flit.KindData {
+		return tryRange(base, base+r.cfg.DataVCs)
+	}
+	// Control packet: control VCs first, then data VCs.
+	if ok, v := tryRange(base+r.cfg.DataVCs, base+perVN); ok {
+		return true, v
+	}
+	return tryRange(base, base+r.cfg.DataVCs)
+}
+
+// WantsOutput fills want with, per direction, whether any resident packet
+// is routed toward that output. The network derives the WU levels of the
+// paper's Figure 2 handshake from it (asserted from route-computation
+// time — the ConvOpt "early wakeup" optimization).
+func (r *Router) WantsOutput(want *[mesh.NumPorts]bool) {
+	for p := 0; p < mesh.NumPorts; p++ {
+		want[p] = false
+	}
+	if r.buffered == 0 {
+		return
+	}
+	for p := 0; p < mesh.NumPorts; p++ {
+		for vi := 0; vi < r.numVCs; vi++ {
+			v := r.in[p].vcs[vi]
+			if !v.empty() && v.routed {
+				want[v.outDir] = true
+			}
+		}
+	}
+}
+
+// WantsOutputAtSA is the PlainPG variant of WantsOutput: the WU level
+// fires only once a packet actually requests the switch toward the
+// output (no early wakeup), matching the unoptimized handshake of the
+// paper's Section 2.2.
+func (r *Router) WantsOutputAtSA(want *[mesh.NumPorts]bool, now int64) {
+	for p := 0; p < mesh.NumPorts; p++ {
+		want[p] = false
+	}
+	if r.buffered == 0 {
+		return
+	}
+	for p := 0; p < mesh.NumPorts; p++ {
+		for vi := 0; vi < r.numVCs; vi++ {
+			v := r.in[p].vcs[vi]
+			if !v.empty() && v.routed && now-v.frontArrival() >= r.trouter {
+				want[v.outDir] = true
+			}
+		}
+	}
+}
+
+// ResidentHeads invokes fn for every packet whose head flit is currently
+// buffered in this router. Power Punch emits one punch per resident head
+// per cycle (level semantics: a stalled packet keeps punching).
+func (r *Router) ResidentHeads(fn func(p *flit.Packet)) {
+	if r.buffered == 0 {
+		return
+	}
+	for p := 0; p < mesh.NumPorts; p++ {
+		for vi := 0; vi < r.numVCs; vi++ {
+			v := r.in[p].vcs[vi]
+			for _, f := range v.buf {
+				if f.Type.IsHead() {
+					fn(f.Packet)
+				}
+			}
+		}
+	}
+}

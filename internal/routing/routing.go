@@ -1,0 +1,123 @@
+// Package routing implements dimension-order (XY) routing for 2D meshes,
+// plus the path-walking helpers Power Punch needs: computing the router a
+// given number of hops ahead on a packet's path (the paper's "targeted
+// router") and the legal-turn predicates that bound which wakeup signals
+// can share a punch channel.
+//
+// XY routing forwards a packet along the X dimension until the packet is
+// in the destination's column, then along the Y dimension. X-to-Y turns
+// are legal; Y-to-X turns are not, which is what makes the routing
+// deadlock-free and what lets the punch encoder prune impossible signal
+// combinations (paper Section 4.1, step 3).
+package routing
+
+import (
+	"fmt"
+
+	"powerpunch/internal/mesh"
+)
+
+// XY computes the output direction at router cur for a packet destined to
+// dst under dimension-order routing. It returns mesh.Local when cur == dst.
+func XY(m *mesh.Mesh, cur, dst mesh.NodeID) mesh.Direction {
+	cc, dc := m.CoordOf(cur), m.CoordOf(dst)
+	switch {
+	case dc.X > cc.X:
+		return mesh.East
+	case dc.X < cc.X:
+		return mesh.West
+	case dc.Y > cc.Y:
+		return mesh.South
+	case dc.Y < cc.Y:
+		return mesh.North
+	default:
+		return mesh.Local
+	}
+}
+
+// NextHop returns the next router on the XY path from cur to dst, or cur
+// itself when cur == dst.
+func NextHop(m *mesh.Mesh, cur, dst mesh.NodeID) mesh.NodeID {
+	d := XY(m, cur, dst)
+	if d == mesh.Local {
+		return cur
+	}
+	n := m.Neighbor(cur, d)
+	if n == mesh.Invalid {
+		// XY on a mesh can never route off an edge; this is a corrupted
+		// destination and a programming error.
+		panic(fmt.Sprintf("routing: XY step from %d toward %d leaves the mesh", cur, dst))
+	}
+	return n
+}
+
+// Path returns the full XY path from src to dst, inclusive of both
+// endpoints. Path(src, src) returns [src].
+func Path(m *mesh.Mesh, src, dst mesh.NodeID) []mesh.NodeID {
+	path := []mesh.NodeID{src}
+	cur := src
+	for cur != dst {
+		cur = NextHop(m, cur, dst)
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Ahead returns the router k hops ahead of cur on the XY path to dst. If
+// fewer than k hops remain, it returns dst. Ahead(cur, dst, 0) == cur.
+// This is the paper's targeted-router computation: with a 3-hop punch,
+// the targeted router of a packet at cur is Ahead(cur, dst, 3).
+func Ahead(m *mesh.Mesh, cur, dst mesh.NodeID, k int) mesh.NodeID {
+	node := cur
+	for i := 0; i < k && node != dst; i++ {
+		node = NextHop(m, node, dst)
+	}
+	return node
+}
+
+// HopsRemaining returns the number of hops left on the XY path from cur
+// to dst (the Manhattan distance, since XY is minimal).
+func HopsRemaining(m *mesh.Mesh, cur, dst mesh.NodeID) int {
+	return m.HopDistance(cur, dst)
+}
+
+// OnPath reports whether node lies on the XY path from src to dst
+// (inclusive of the endpoints).
+func OnPath(m *mesh.Mesh, src, dst, node mesh.NodeID) bool {
+	cur := src
+	for {
+		if cur == node {
+			return true
+		}
+		if cur == dst {
+			return false
+		}
+		cur = NextHop(m, cur, dst)
+	}
+}
+
+// LegalTurn reports whether a packet arriving on input direction `in`
+// (the direction of travel, not the port side) may depart in direction
+// `out` under XY routing. Continuing straight and X-to-Y turns are legal;
+// Y-to-X turns are not. Injection (in == Local) and ejection
+// (out == Local) are always legal.
+func LegalTurn(in, out mesh.Direction) bool {
+	if in == mesh.Local || out == mesh.Local {
+		return true
+	}
+	if in.IsY() && out.IsX() {
+		return false
+	}
+	// A packet never reverses direction under minimal routing.
+	if out == in.Opposite() {
+		return false
+	}
+	return true
+}
+
+// FirstDirection returns the direction of the first hop of the XY path
+// from src to dst, or mesh.Local if src == dst. It is used by the punch
+// relay to decide which outgoing channel serves a target.
+func FirstDirection(m *mesh.Mesh, src, dst mesh.NodeID) mesh.Direction {
+	return XY(m, src, dst)
+}

@@ -1,0 +1,183 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"powerpunch/internal/mesh"
+)
+
+func TestXYDirections(t *testing.T) {
+	m := mesh.New(8, 8)
+	cases := []struct {
+		cur, dst mesh.NodeID
+		want     mesh.Direction
+	}{
+		{27, 31, mesh.East},  // same row, east
+		{27, 24, mesh.West},  // same row, west
+		{27, 3, mesh.North},  // same column, north
+		{27, 59, mesh.South}, // same column, south
+		{27, 36, mesh.East},  // X resolves before Y
+		{27, 20, mesh.East},
+		{27, 27, mesh.Local},
+	}
+	for _, c := range cases {
+		if got := XY(m, c.cur, c.dst); got != c.want {
+			t.Errorf("XY(%d->%d) = %v, want %v", c.cur, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestPathPaperExample(t *testing.T) {
+	// Section 4.1 step 1: a packet at R26 destined to R31 targets R29;
+	// the path runs along the row.
+	m := mesh.New(8, 8)
+	want := []mesh.NodeID{26, 27, 28, 29, 30, 31}
+	got := Path(m, 26, 31)
+	if len(got) != len(want) {
+		t.Fatalf("Path(26,31) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Path(26,31) = %v, want %v", got, want)
+		}
+	}
+	if tr := Ahead(m, 26, 31, 3); tr != 29 {
+		t.Errorf("Ahead(26,31,3) = %d, want 29 (paper targeted router)", tr)
+	}
+}
+
+func TestAheadClampsAtDestination(t *testing.T) {
+	m := mesh.New(8, 8)
+	if got := Ahead(m, 26, 28, 3); got != 28 {
+		t.Errorf("Ahead(26,28,3) = %d, want 28", got)
+	}
+	if got := Ahead(m, 5, 5, 3); got != 5 {
+		t.Errorf("Ahead(5,5,3) = %d, want 5", got)
+	}
+	if got := Ahead(m, 10, 50, 0); got != 10 {
+		t.Errorf("Ahead(_,_,0) must be cur")
+	}
+}
+
+func TestPathLengthEqualsManhattanDistance(t *testing.T) {
+	// Property: XY is minimal — path length == HopDistance + 1 nodes.
+	m := mesh.New(8, 8)
+	f := func(aRaw, bRaw uint8) bool {
+		a := mesh.NodeID(int(aRaw) % m.NumNodes())
+		b := mesh.NodeID(int(bRaw) % m.NumNodes())
+		return len(Path(m, a, b)) == m.HopDistance(a, b)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathSuffixProperty(t *testing.T) {
+	// Property underlying punch relays (Section 4.1 step 2): for any
+	// node Mon the XY path from S to D, the XY path from M to D is the
+	// suffix of the original path. Punches can therefore be re-routed at
+	// every relay with plain XY and still follow the packet's path.
+	m := mesh.New(8, 8)
+	f := func(aRaw, bRaw uint8) bool {
+		a := mesh.NodeID(int(aRaw) % m.NumNodes())
+		b := mesh.NodeID(int(bRaw) % m.NumNodes())
+		p := Path(m, a, b)
+		for i, node := range p {
+			sub := Path(m, node, b)
+			if len(sub) != len(p)-i {
+				return false
+			}
+			for j := range sub {
+				if sub[j] != p[i+j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathsUseOnlyLegalTurns(t *testing.T) {
+	// Property: XY paths never take a Y-to-X turn (deadlock freedom).
+	m := mesh.New(8, 8)
+	f := func(aRaw, bRaw uint8) bool {
+		a := mesh.NodeID(int(aRaw) % m.NumNodes())
+		b := mesh.NodeID(int(bRaw) % m.NumNodes())
+		p := Path(m, a, b)
+		in := mesh.Local
+		for i := 0; i+1 < len(p); i++ {
+			out := XY(m, p[i], b)
+			if !LegalTurn(in, out) {
+				return false
+			}
+			in = out
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLegalTurn(t *testing.T) {
+	cases := []struct {
+		in, out mesh.Direction
+		want    bool
+	}{
+		{mesh.East, mesh.East, true},
+		{mesh.East, mesh.North, true},  // X to Y: legal
+		{mesh.East, mesh.South, true},  // X to Y: legal
+		{mesh.North, mesh.East, false}, // Y to X: illegal
+		{mesh.South, mesh.West, false}, // Y to X: illegal
+		{mesh.North, mesh.North, true},
+		{mesh.East, mesh.West, false}, // reversal
+		{mesh.North, mesh.South, false},
+		{mesh.Local, mesh.East, true},
+		{mesh.North, mesh.Local, true},
+	}
+	for _, c := range cases {
+		if got := LegalTurn(c.in, c.out); got != c.want {
+			t.Errorf("LegalTurn(%v,%v) = %v, want %v", c.in, c.out, got, c.want)
+		}
+	}
+}
+
+func TestOnPath(t *testing.T) {
+	m := mesh.New(8, 8)
+	// Path 27 -> 21 is 27,28,29,21 (paper: "R26 to R29 is along the path
+	// from R27 to R21").
+	for _, node := range []mesh.NodeID{27, 28, 29, 21} {
+		if !OnPath(m, 27, 21, node) {
+			t.Errorf("OnPath(27,21,%d) = false", node)
+		}
+	}
+	for _, node := range []mesh.NodeID{26, 20, 37, 13} {
+		if OnPath(m, 27, 21, node) {
+			t.Errorf("OnPath(27,21,%d) = true", node)
+		}
+	}
+}
+
+func TestNextHopPanicsOffMesh(t *testing.T) {
+	// NextHop toward an invalid destination must panic rather than route
+	// off the edge silently. (Destinations are validated upstream; this
+	// guards the invariant.)
+	m := mesh.New(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for off-mesh destination")
+		}
+	}()
+	Path(m, 3, 99)
+}
+
+func TestFirstDirectionMatchesXY(t *testing.T) {
+	m := mesh.New(8, 8)
+	if FirstDirection(m, 27, 21) != XY(m, 27, 21) {
+		t.Error("FirstDirection disagrees with XY")
+	}
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"powerpunch/internal/flit"
+)
+
+func pkt(created, ejected int64, blocked int, wait int64) *flit.Packet {
+	return &flit.Packet{
+		Size: 1, CreatedAt: created, InjectedAt: created + 3, EjectedAt: ejected,
+		BlockedRouters: blocked, WakeupWait: wait, VN: flit.VNRequest,
+	}
+}
+
+func TestMeasurementWindow(t *testing.T) {
+	c := New(100, 200)
+	if c.Measured(99) || !c.Measured(100) || !c.Measured(199) || c.Measured(200) {
+		t.Error("window boundaries")
+	}
+	// A packet created before the window is transported but not counted.
+	early := pkt(50, 150, 0, 0)
+	c.PacketInjected(early)
+	c.PacketEjected(early, 4)
+	if c.EjectedPackets() != 0 {
+		t.Error("early packet counted")
+	}
+	in := pkt(150, 190, 1, 5)
+	c.PacketInjected(in)
+	c.PacketEjected(in, 4)
+	if c.EjectedPackets() != 1 {
+		t.Error("in-window packet not counted")
+	}
+}
+
+func TestZeroEndMeansUnbounded(t *testing.T) {
+	c := New(0, 0)
+	if !c.Measured(1 << 50) {
+		t.Error("zero end must mean unbounded")
+	}
+}
+
+func TestAverages(t *testing.T) {
+	c := New(0, 0)
+	for i, l := range []int64{10, 20, 30} {
+		p := pkt(0, l, i, int64(i*2))
+		c.PacketInjected(p)
+		c.PacketEjected(p, i+1)
+	}
+	if got := c.AvgLatency(); got != 20 {
+		t.Errorf("AvgLatency = %g", got)
+	}
+	if got := c.AvgBlockedRouters(); got != 1 {
+		t.Errorf("AvgBlocked = %g", got)
+	}
+	if got := c.AvgWakeupWait(); got != 2 {
+		t.Errorf("AvgWakeupWait = %g", got)
+	}
+	if got := c.AvgHops(); got != 2 {
+		t.Errorf("AvgHops = %g", got)
+	}
+	if got := c.MaxLatency(); got != 30 {
+		t.Errorf("MaxLatency = %d", got)
+	}
+	if got := c.AvgNetworkLatency(); got != 17 {
+		t.Errorf("AvgNetworkLatency = %g", got)
+	}
+}
+
+func TestInFlight(t *testing.T) {
+	c := New(0, 0)
+	p := pkt(0, 10, 0, 0)
+	c.PacketInjected(p)
+	if c.InFlight() != 1 {
+		t.Error("in-flight after inject")
+	}
+	c.PacketEjected(p, 1)
+	if c.InFlight() != 0 {
+		t.Error("in-flight after eject")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	c := New(0, 0)
+	for i := 0; i < 10; i++ {
+		p := pkt(0, 5, 0, 0)
+		p.Size = 4
+		c.PacketInjected(p)
+		c.PacketEjected(p, 2)
+	}
+	// 40 flits / (4 nodes * 100 cycles) = 0.1
+	if got := c.Throughput(4, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Throughput = %g", got)
+	}
+	if c.Throughput(0, 0) != 0 {
+		t.Error("zero guard")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	c := New(0, 0)
+	c.KeepSamples(true)
+	for i := int64(1); i <= 100; i++ {
+		p := pkt(0, i, 0, 0)
+		c.PacketInjected(p)
+		c.PacketEjected(p, 1)
+	}
+	if got := c.Percentile(50); got != 50 {
+		t.Errorf("p50 = %g", got)
+	}
+	if got := c.Percentile(99); got != 99 {
+		t.Errorf("p99 = %g", got)
+	}
+	noSamples := New(0, 0)
+	if !math.IsNaN(noSamples.Percentile(50)) {
+		t.Error("percentile without samples must be NaN")
+	}
+}
+
+func TestPerVNCounts(t *testing.T) {
+	c := New(0, 0)
+	p := pkt(0, 5, 0, 0)
+	p.VN = flit.VNResponse
+	c.PacketInjected(p)
+	c.PacketEjected(p, 1)
+	if c.VNEjected(flit.VNResponse) != 1 || c.VNEjected(flit.VNRequest) != 0 {
+		t.Error("per-VN counts")
+	}
+}
+
+func TestEmptyCollectorAverages(t *testing.T) {
+	c := New(0, 0)
+	if c.AvgLatency() != 0 || c.AvgBlockedRouters() != 0 || c.AvgWakeupWait() != 0 || c.AvgHops() != 0 {
+		t.Error("empty collector must report zeros")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	c := New(0, 0)
+	p := pkt(0, 7, 2, 3)
+	c.PacketInjected(p)
+	c.PacketEjected(p, 3)
+	s := c.Summarize()
+	if s.Ejected != 1 || s.AvgLatency != 7 || s.AvgBlocked != 2 || s.AvgWakeWait != 3 {
+		t.Errorf("summary: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}

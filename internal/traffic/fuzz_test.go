@@ -1,0 +1,27 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+
+	"powerpunch/internal/mesh"
+)
+
+// FuzzReadTrace hardens the trace parser against malformed input: it
+// must never panic, and anything it accepts must either validate or be
+// rejected by Validate with a clean error.
+func FuzzReadTrace(f *testing.F) {
+	f.Add(`{"t":0,"src":0,"dst":1,"vn":0,"kind":0,"size":1,"hint":true,"delay":3}` + "\n")
+	f.Add(`{"t":5,"src":3,"dst":2,"vn":2,"kind":1,"size":5,"hint":false,"delay":0}` + "\n")
+	f.Add("")
+	f.Add("{")
+	f.Add(`{"t":-1,"src":999}`)
+	m := mesh.New(4, 4)
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		_ = tr.Validate(m) // must not panic
+	})
+}

@@ -1,0 +1,167 @@
+// Package powerpunch is the public API of this repository: a
+// cycle-accurate 2D-mesh network-on-chip simulator with router
+// power-gating and the Power Punch non-blocking power-gating scheme of
+// Chen, Zhu, Pedram and Pinkston (HPCA 2015).
+//
+// The package re-exports the stable surface of the internal packages:
+// configuration, network construction, synthetic and full-system
+// (CMP/coherence) workloads, and the paper's experiment drivers.
+//
+// # Quick start
+//
+//	cfg := powerpunch.DefaultConfig()
+//	cfg.Scheme = powerpunch.PowerPunchPG
+//	net, err := powerpunch.NewNetwork(cfg)
+//	if err != nil { ... }
+//	drv := powerpunch.NewSyntheticTraffic(powerpunch.Uniform(), 0.02, 1)
+//	res := net.Run(drv)
+//	fmt.Println(res.Summary.AvgLatency, res.StaticSaved)
+package powerpunch
+
+import (
+	"io"
+
+	"powerpunch/internal/cmp"
+	"powerpunch/internal/config"
+	"powerpunch/internal/core"
+	"powerpunch/internal/experiments"
+	"powerpunch/internal/mesh"
+	"powerpunch/internal/network"
+	"powerpunch/internal/parsec"
+	"powerpunch/internal/traffic"
+)
+
+// Config is the complete simulation configuration (the paper's Table 2
+// plus the power-gating and Power Punch parameters).
+type Config = config.Config
+
+// Scheme selects the power-management policy under evaluation.
+type Scheme = config.Scheme
+
+// The four schemes of the paper's evaluation.
+const (
+	NoPG             = config.NoPG
+	ConvOptPG        = config.ConvOptPG
+	PowerPunchSignal = config.PowerPunchSignal
+	PowerPunchPG     = config.PowerPunchPG
+)
+
+// Schemes lists all four schemes in the paper's presentation order.
+var Schemes = config.Schemes
+
+// DefaultConfig returns the paper's primary configuration: an 8x8 mesh
+// with XY routing, 3 VNs, 3-stage speculative routers, Twakeup=8,
+// BET=10, and 3-hop punch signals.
+func DefaultConfig() Config { return config.Default() }
+
+// Network is a fully-assembled simulated NoC.
+type Network = network.Network
+
+// Driver injects traffic into a Network (see Network.Run / RunUntil).
+type Driver = network.Driver
+
+// RunResult summarizes a simulation run.
+type RunResult = network.RunResult
+
+// NodeID identifies a mesh node.
+type NodeID = mesh.NodeID
+
+// NewNetwork builds a network for cfg.
+func NewNetwork(cfg Config) (*Network, error) { return network.New(cfg) }
+
+// TrafficPattern maps sources to destinations for synthetic workloads.
+type TrafficPattern = traffic.Pattern
+
+// Uniform returns the uniform-random traffic pattern.
+func Uniform() TrafficPattern { return traffic.UniformRandom{} }
+
+// TransposeTraffic returns the transpose permutation pattern.
+func TransposeTraffic() TrafficPattern { return traffic.Transpose{} }
+
+// BitComplementTraffic returns the bit-complement permutation pattern.
+func BitComplementTraffic() TrafficPattern { return traffic.BitComplement{} }
+
+// PatternByName resolves "uniform", "transpose", "bit-complement",
+// "tornado", or "neighbor".
+func PatternByName(name string) (TrafficPattern, error) { return traffic.ByName(name) }
+
+// SyntheticTraffic is an open-loop Bernoulli injector.
+type SyntheticTraffic = traffic.Synthetic
+
+// NewSyntheticTraffic returns a synthetic driver offering `rate` flits
+// per node per cycle under the given pattern.
+func NewSyntheticTraffic(p TrafficPattern, rate float64, seed int64) *SyntheticTraffic {
+	return traffic.NewSynthetic(p, rate, seed)
+}
+
+// WorkloadProfile parameterizes a full-system (CMP/coherence) workload.
+type WorkloadProfile = cmp.Profile
+
+// Workload is a CMP workload attached to a network; it implements Driver
+// and reports execution time.
+type Workload = cmp.System
+
+// NewWorkload attaches a CMP workload to net.
+func NewWorkload(p WorkloadProfile, net *Network, seed int64) *Workload {
+	return cmp.NewSystem(p, net, seed)
+}
+
+// PARSECBenchmarks lists the eight PARSEC-like profile names.
+var PARSECBenchmarks = parsec.Benchmarks
+
+// PARSECProfile returns the named PARSEC-like profile with the given
+// per-core instruction budget.
+func PARSECProfile(name string, instrPerCore int64) (WorkloadProfile, error) {
+	return parsec.Profile(name, instrPerCore)
+}
+
+// PunchChannelEncoding is the Table-1 code book of one punch channel.
+type PunchChannelEncoding = core.ChannelEncoding
+
+// EncodePunchChannel enumerates the distinct merged target sets on the
+// punch channel leaving router r in direction d (paper Table 1).
+// Directions: 0=N (Y-), 1=S (Y+), 2=E (X+), 3=W (X-).
+func EncodePunchChannel(width, height int, r NodeID, dir int, hops int) *PunchChannelEncoding {
+	return core.EncodeChannel(mesh.New(width, height), r, mesh.Direction(dir), hops)
+}
+
+// Experiments re-exports the per-figure drivers for programmatic use.
+// See the cmd/powerpunch CLI for the command-line interface.
+type (
+	// FullSystemOptions parameterizes Figures 7-11.
+	FullSystemOptions = experiments.FullSystemOptions
+	// BenchResult is one benchmark's four-scheme comparison.
+	BenchResult = experiments.BenchResult
+	// LoadSweepOptions parameterizes Figure 12.
+	LoadSweepOptions = experiments.LoadSweepOptions
+)
+
+// RunFullSystem executes the PARSEC-style comparison behind Figures 7-11.
+func RunFullSystem(o FullSystemOptions) ([]BenchResult, error) {
+	return experiments.RunFullSystem(o)
+}
+
+// RunLoadSweep executes the synthetic sweep behind Figure 12.
+func RunLoadSweep(o LoadSweepOptions) ([]experiments.LoadPoint, error) {
+	return experiments.RunLoadSweep(o)
+}
+
+// TrafficTrace is a recorded workload: every message submission with its
+// cycle, endpoints, class, and slack hints. Traces replay bit-exactly.
+type TrafficTrace = traffic.Trace
+
+// TraceRecorder captures every NI submission on a network.
+type TraceRecorder = traffic.Recorder
+
+// TraceReplay is a Driver that re-submits a recorded trace.
+type TraceReplay = traffic.Replay
+
+// NewTraceRecorder attaches a recorder to every NI of net; attach before
+// running the workload.
+func NewTraceRecorder(net *Network) *TraceRecorder { return traffic.NewRecorder(net) }
+
+// NewTraceReplay returns a driver replaying t from cycle 0.
+func NewTraceReplay(t *TrafficTrace) *TraceReplay { return traffic.NewReplay(t) }
+
+// ReadTrafficTrace parses a JSON-lines trace.
+func ReadTrafficTrace(r io.Reader) (*TrafficTrace, error) { return traffic.ReadTrace(r) }

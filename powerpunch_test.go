@@ -1,0 +1,77 @@
+package powerpunch
+
+import (
+	"testing"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = PowerPunchPG
+	cfg.Width, cfg.Height = 4, 4
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 3000
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := NewSyntheticTraffic(Uniform(), 0.02, 1)
+	res := net.Run(drv)
+	if !res.Drained || res.Summary.Ejected == 0 {
+		t.Fatalf("quickstart flow failed: %+v", res.Summary)
+	}
+	if res.StaticSaved <= 0 {
+		t.Error("PowerPunch-PG should save static energy")
+	}
+}
+
+func TestPublicWorkloadFlow(t *testing.T) {
+	prof, err := PARSECProfile("swaptions", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Scheme = ConvOptPG
+	cfg.Width, cfg.Height = 4, 4
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 1 << 40
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := NewWorkload(prof, net, 1)
+	res := net.RunUntil(wl, 300_000)
+	if !res.Drained {
+		t.Fatal("workload incomplete")
+	}
+	if wl.ExecutionTime() <= 0 {
+		t.Error("no execution time")
+	}
+}
+
+func TestPublicEncoding(t *testing.T) {
+	enc := EncodePunchChannel(8, 8, 27, 2, 3) // E == 2
+	if enc == nil || len(enc.Codes) != 22 || enc.WidthBits != 5 {
+		t.Fatalf("public encoding API broken: %+v", enc)
+	}
+}
+
+func TestPublicPatterns(t *testing.T) {
+	for _, name := range []string{"uniform", "transpose", "bit-complement"} {
+		if _, err := PatternByName(name); err != nil {
+			t.Errorf("PatternByName(%q): %v", name, err)
+		}
+	}
+	if Uniform().Name() != "uniform" || TransposeTraffic().Name() != "transpose" ||
+		BitComplementTraffic().Name() != "bit-complement" {
+		t.Error("pattern constructors")
+	}
+}
+
+func TestPublicSchemeList(t *testing.T) {
+	if len(Schemes) != 4 || Schemes[0] != NoPG || Schemes[3] != PowerPunchPG {
+		t.Errorf("Schemes = %v", Schemes)
+	}
+	if len(PARSECBenchmarks) != 8 {
+		t.Errorf("PARSECBenchmarks = %v", PARSECBenchmarks)
+	}
+}
