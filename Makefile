@@ -1,0 +1,42 @@
+# Tier-1 gate: the fast correctness bar every change must clear.
+#   make test
+# Tier-2 gate: the full verification sweep — static analysis, the whole
+# suite under the race detector, and a soak pass with the cycle-level
+# invariant engine (config.Checks) sweeping every cycle:
+#   make check
+# CI should run tier-1 on every push and tier-2 before merging.
+
+GO ?= go
+
+.PHONY: build test vet race soak check fuzz clean
+
+build:
+	$(GO) build ./...
+
+# Tier-1: build + full test suite.
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short soak with the invariant engine on every cycle, all schemes
+# (TestSoakWithChecks), plus the long-run soak's -short stub.
+soak:
+	$(GO) test -short -run Soak ./internal/network/
+
+# Tier-2: everything above.
+check: vet test race soak
+
+# Optional: extended coverage-guided fuzzing of the trace parser and the
+# end-to-end fuzz harness (FUZZTIME per target).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/traffic/ -run FuzzReadTrace -fuzz FuzzReadTrace -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/traffic/ -run FuzzNetworkEndToEnd -fuzz FuzzNetworkEndToEnd -fuzztime $(FUZZTIME)
+
+clean:
+	$(GO) clean ./...

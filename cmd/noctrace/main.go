@@ -12,6 +12,12 @@
 // Replaying the same trace under different schemes gives a perfectly
 // controlled comparison: every message is identical; only the
 // power-gating behaviour differs.
+//
+// Replay a failure artifact written by the invariant engine
+// (Config.Checks) and confirm the violation reproduces at the recorded
+// cycle:
+//
+//	noctrace replay-failure -in /tmp/powerpunch-violation-c123-punch-nonblocking.json
 package main
 
 import (
@@ -31,13 +37,15 @@ func main() {
 		record(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "replay-failure":
+		replayFailure(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: noctrace record|replay [flags] (see -h of each)")
+	fmt.Fprintln(os.Stderr, "usage: noctrace record|replay|replay-failure [flags] (see -h of each)")
 	os.Exit(2)
 }
 
@@ -143,4 +151,40 @@ func replay(args []string) {
 	fmt.Printf("%-18s events=%d lat=%.2f blocked=%.2f wait=%.2f staticSaved=%.1f%% cycles=%d\n",
 		s, len(tr.Events), res.Summary.AvgLatency, res.Summary.AvgBlocked,
 		res.Summary.AvgWakeWait, res.StaticSaved*100, res.Cycles)
+}
+
+// replayFailure re-runs a violation artifact deterministically and
+// verifies it reproduces: same invariant, same cycle. Exit status 0 on
+// a faithful reproduction, 1 on divergence.
+func replayFailure(args []string) {
+	fs := flag.NewFlagSet("replay-failure", flag.ExitOnError)
+	in := fs.String("in", "", "violation artifact (JSON, written by the invariant engine)")
+	maxCycles := fs.Int64("max-cycles", 0, "replay bound; 0 = recorded cycle plus a short grace window")
+	_ = fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("replay-failure: -in is required"))
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := powerpunch.ReadCheckArtifact(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded: %s\n          scheme=%s seed=%d events=%d\n",
+		a.Violation.String(), a.Config.Scheme, a.Seed, len(a.Events))
+
+	got, err := powerpunch.ReplayFailure(a, *maxCycles)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replayed: %s\n", got.Violation.String())
+	if got.Invariant != a.Invariant || got.Cycle != a.Cycle {
+		fmt.Fprintln(os.Stderr, "noctrace: replay DIVERGED from the recorded violation")
+		os.Exit(1)
+	}
+	fmt.Println("replay reproduced the recorded violation exactly")
 }

@@ -32,7 +32,10 @@ func main() {
 	bench := flag.String("bench", "", "comma-separated benchmark subset for fig7-fig11")
 	hops := flag.Int("hops", 3, "punch hop count for fig13")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory (fig7-fig13)")
+	checks := flag.Bool("checks", false, "run with the cycle-level invariant engine enabled (slower; violations abort with a replayable artifact)")
 	flag.Parse()
+
+	experiments.EnableChecks = *checks
 
 	if *list || *fig == "" {
 		fmt.Println("experiments:")

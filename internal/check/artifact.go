@@ -1,0 +1,109 @@
+// Package check is the cycle-level invariant engine: a pluggable set of
+// correctness checks the network runs at the end of every simulated
+// cycle when Config.Checks is set. The invariants cover the properties
+// the paper's argument rests on — flit and credit conservation, VC
+// state-machine legality, power-gating safety (a gated router is empty,
+// wakes in exactly Twakeup cycles, and honours every wakeup), the punch
+// non-blocking guarantee of Section 4.1, and a deadlock watchdog.
+//
+// On the first violation the engine produces an Artifact: the full
+// configuration, seed, failing cycle, every traffic submission so far,
+// and a ring buffer of recent power-gating events. Because the
+// simulator is deterministic, re-running the same configuration and
+// re-submitting the recorded events reproduces the violation at the
+// same cycle; `noctrace replay-failure` and powerpunch.ReplayFailure do
+// exactly that.
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"powerpunch/internal/config"
+	"powerpunch/internal/flit"
+	"powerpunch/internal/mesh"
+)
+
+// Violation describes one invariant failure.
+type Violation struct {
+	// Invariant is the stable identifier of the failed check, e.g.
+	// "punch-nonblocking" or "flit-conservation".
+	Invariant string `json:"invariant"`
+	// Cycle is the simulation cycle at whose end the check failed.
+	Cycle int64 `json:"cycle"`
+	// Detail is a human-readable description of the failing state.
+	Detail string `json:"detail"`
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("cycle %d: invariant %s violated: %s", v.Cycle, v.Invariant, v.Detail)
+}
+
+// SubmitEvent is one recorded NI submission. Field names and JSON tags
+// match traffic.Event so a recorded artifact doubles as a trace.
+type SubmitEvent struct {
+	Now   int64               `json:"t"`
+	Src   mesh.NodeID         `json:"src"`
+	Dst   mesh.NodeID         `json:"dst"`
+	VN    flit.VirtualNetwork `json:"vn"`
+	Kind  flit.Kind           `json:"kind"`
+	Size  int                 `json:"size"`
+	Hint  bool                `json:"hint"`
+	Delay int                 `json:"delay"`
+}
+
+// Artifact is the structured failure report emitted on the first
+// violation: everything needed to reproduce the failing run.
+type Artifact struct {
+	Violation
+	// Seed is the RNG seed of the run (Config.Seed; informational — the
+	// recorded Events already pin the traffic down exactly).
+	Seed int64 `json:"seed"`
+	// Config is the complete configuration of the failing run,
+	// including any injected Faults, so a replay rebuilds the identical
+	// network.
+	Config config.Config `json:"config"`
+	// Events lists every NI submission up to the failing cycle in
+	// submission order.
+	Events []SubmitEvent `json:"events"`
+	// Recent is the ring buffer of recent notable events (power-gating
+	// transitions), oldest first.
+	Recent []string `json:"recent"`
+}
+
+// Encode serializes the artifact as indented JSON.
+func (a *Artifact) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// ReadArtifact parses an artifact previously written with Encode.
+func ReadArtifact(r io.Reader) (*Artifact, error) {
+	var a Artifact
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("check: reading artifact: %w", err)
+	}
+	return &a, nil
+}
+
+// WriteArtifactFile writes the artifact to a JSON file under dir (the
+// OS temp directory when dir is empty) and returns the path.
+func WriteArtifactFile(a *Artifact, dir string) (string, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	path := filepath.Join(dir, fmt.Sprintf("powerpunch-violation-c%d-%s.json", a.Cycle, a.Invariant))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := a.Encode(f); err != nil {
+		return "", err
+	}
+	return path, nil
+}

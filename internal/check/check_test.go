@@ -1,0 +1,259 @@
+package check_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"powerpunch"
+	"powerpunch/internal/check"
+	"powerpunch/internal/config"
+	"powerpunch/internal/flit"
+	"powerpunch/internal/mesh"
+	"powerpunch/internal/network"
+)
+
+// allSchemes includes PlainPG on top of the paper's four, so the
+// invariants are exercised against every gating policy in the tree.
+var allSchemes = []config.Scheme{
+	config.NoPG, config.ConvOptPG, config.PowerPunchSignal, config.PowerPunchPG, config.PlainPG,
+}
+
+func newChecked(t *testing.T, cfg config.Config) (*network.Network, *[]*check.Artifact) {
+	t.Helper()
+	cfg.Checks = true
+	n, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*check.Artifact
+	n.OnViolation = func(a *check.Artifact) { got = append(got, a) }
+	return n, &got
+}
+
+// TestCleanRunAllSchemes drives random traffic through every scheme with
+// the full invariant suite on every cycle and expects zero violations —
+// the engine must not cry wolf on a correct simulator.
+func TestCleanRunAllSchemes(t *testing.T) {
+	for _, s := range allSchemes {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := config.Default()
+			cfg.Width, cfg.Height = 4, 4
+			cfg.Scheme = s
+			cfg.WarmupCycles = 0
+			cfg.MeasureCycles = 1 << 40
+			cfg.CheckInterval = 1 // every sweep, every cycle
+			n, got := newChecked(t, cfg)
+
+			rng := rand.New(rand.NewSource(11))
+			for cyc := 0; cyc < 4000; cyc++ {
+				if rng.Float64() < 0.04 {
+					src := mesh.NodeID(rng.Intn(16))
+					dst := mesh.NodeID(rng.Intn(16))
+					if src != dst {
+						kind, vn := flit.KindControl, flit.VNRequest
+						if rng.Intn(2) == 0 {
+							kind, vn = flit.KindData, flit.VNResponse
+						}
+						p := n.NewPacket(src, dst, vn, kind)
+						n.NI(src).Submit(p, rng.Intn(2) == 0, n.Now())
+					}
+				}
+				n.Step()
+			}
+			for cyc := 0; cyc < 20000 && !n.Quiesced(); cyc++ {
+				n.Step()
+			}
+			if !n.Quiesced() {
+				t.Fatal("network did not quiesce")
+			}
+			for _, a := range *got {
+				t.Errorf("unexpected violation: %v", &a.Violation)
+			}
+		})
+	}
+}
+
+// replayMatches round-trips the artifact through its JSON encoding and
+// replays it, asserting the violation reproduces at the identical cycle
+// with the identical invariant — the deterministic-replay guarantee the
+// whole harness rests on.
+func replayMatches(t *testing.T, a *check.Artifact) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := check.ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := powerpunch.ReplayFailure(parsed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Invariant != a.Invariant || got.Cycle != a.Cycle {
+		t.Fatalf("replay diverged: got %s at cycle %d, recorded %s at cycle %d",
+			got.Invariant, got.Cycle, a.Invariant, a.Cycle)
+	}
+}
+
+// TestPunchInvariantCatchesDroppedRelays injects the DropPunchRelays
+// fault — punch signals reach only one hop, so distant routers are still
+// waking when packets arrive — and expects the punch-nonblocking
+// invariant (the paper's Section 4.1 guarantee) to catch it, with a
+// deterministic replay of the artifact.
+func TestPunchInvariantCatchesDroppedRelays(t *testing.T) {
+	cfg := config.Default()
+	cfg.Scheme = config.PowerPunchPG
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 1 << 40
+	cfg.Faults.DropPunchRelays = true
+	n, got := newChecked(t, cfg)
+
+	// Let every router gate (punch idle timeout is 2 cycles), then send
+	// one packet across the mesh: far routers should be punched awake
+	// three hops early, but the fault caps punches at one hop.
+	for n.Now() < 20 {
+		n.Step()
+	}
+	p := n.NewPacket(0, 63, flit.VNRequest, flit.KindControl)
+	n.NI(0).Submit(p, true, n.Now())
+	for n.Now() < 2000 && len(*got) == 0 {
+		n.Step()
+	}
+
+	if len(*got) == 0 {
+		t.Fatal("DropPunchRelays fault was not caught")
+	}
+	a := (*got)[0]
+	if a.Invariant != "punch-nonblocking" {
+		t.Fatalf("fault caught by %q, want punch-nonblocking (%s)", a.Invariant, a.Detail)
+	}
+	if len(a.Events) != 1 {
+		t.Fatalf("artifact recorded %d events, want 1", len(a.Events))
+	}
+	if !a.Config.Faults.DropPunchRelays {
+		t.Fatal("artifact config lost the injected fault")
+	}
+	replayMatches(t, a)
+}
+
+// TestHandshakeInvariantCatchesIgnoredWakeups injects the IgnoreWakeups
+// fault — a gated router never honours WU — and expects the
+// pg-wake-handshake invariant to catch the stuck-gated neighbour.
+func TestHandshakeInvariantCatchesIgnoredWakeups(t *testing.T) {
+	cfg := config.Default()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.Scheme = config.ConvOptPG
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 1 << 40
+	cfg.Faults.IgnoreWakeups = true
+	n, got := newChecked(t, cfg)
+
+	// Keep routers 0 and 1 awake with local chatter while the rest of
+	// the mesh gates, then route a packet into the gated region: router
+	// 2 will ignore the wakeup and the head stalls against a router
+	// that is still gated at the end of the cycle — impossible under a
+	// correct handshake.
+	for n.Now() < 400 && len(*got) == 0 {
+		now := n.Now()
+		if now%2 == 0 {
+			p := n.NewPacket(0, 1, flit.VNRequest, flit.KindControl)
+			n.NI(0).SubmitDelayed(p, false, 0, now)
+		}
+		if now == 40 {
+			p := n.NewPacket(0, 3, flit.VNRequest, flit.KindControl)
+			n.NI(0).SubmitDelayed(p, false, 0, now)
+		}
+		n.Step()
+	}
+
+	if len(*got) == 0 {
+		t.Fatal("IgnoreWakeups fault was not caught")
+	}
+	a := (*got)[0]
+	if a.Invariant != "pg-wake-handshake" {
+		t.Fatalf("fault caught by %q, want pg-wake-handshake (%s)", a.Invariant, a.Detail)
+	}
+	replayMatches(t, a)
+}
+
+// TestWatchdogFires drives a small mesh into saturation with an
+// artificially tiny stall budget: ordinary contention stalls then trip
+// the deadlock watchdog, proving the reporting path end to end.
+func TestWatchdogFires(t *testing.T) {
+	cfg := config.Default()
+	cfg.Width, cfg.Height = 3, 3
+	cfg.Scheme = config.NoPG
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 1 << 40
+	cfg.CheckStallLimit = 4
+	n, got := newChecked(t, cfg)
+
+	rng := rand.New(rand.NewSource(5))
+	for n.Now() < 3000 && len(*got) == 0 {
+		for node := 0; node < 9; node++ {
+			if rng.Float64() < 0.4 {
+				dst := mesh.NodeID(rng.Intn(9))
+				if mesh.NodeID(node) == dst {
+					continue
+				}
+				p := n.NewPacket(mesh.NodeID(node), dst, flit.VNResponse, flit.KindData)
+				n.NI(mesh.NodeID(node)).SubmitDelayed(p, false, 0, n.Now())
+			}
+		}
+		n.Step()
+	}
+	if len(*got) == 0 {
+		t.Fatal("watchdog did not fire under saturation with stall limit 4")
+	}
+	if a := (*got)[0]; a.Invariant != "deadlock-watchdog" {
+		t.Fatalf("got %q, want deadlock-watchdog (%s)", a.Invariant, a.Detail)
+	}
+}
+
+// TestCheckerDisabledByDefault pins the zero-cost-off contract: without
+// Config.Checks the network carries no engine at all.
+func TestCheckerDisabledByDefault(t *testing.T) {
+	n, err := network.New(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Checker != nil {
+		t.Fatal("Checker built without Config.Checks")
+	}
+}
+
+// TestArtifactRoundTrip pins the JSON serialization of artifacts.
+func TestArtifactRoundTrip(t *testing.T) {
+	a := &check.Artifact{
+		Violation: check.Violation{Invariant: "punch-nonblocking", Cycle: 1234, Detail: "detail"},
+		Seed:      7,
+		Config:    config.Default(),
+		Events: []check.SubmitEvent{
+			{Now: 10, Src: 1, Dst: 14, VN: flit.VNRequest, Kind: flit.KindControl, Size: 1, Hint: true, Delay: 6},
+			{Now: 12, Src: 3, Dst: 0, VN: flit.VNResponse, Kind: flit.KindData, Size: 5, Delay: 0},
+		},
+		Recent: []string{"c9: router 5: active -> draining"},
+	}
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := check.ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Violation != a.Violation || b.Seed != a.Seed || b.Config != a.Config {
+		t.Fatalf("round trip mismatch: %+v vs %+v", b, a)
+	}
+	if len(b.Events) != len(a.Events) || b.Events[0] != a.Events[0] || b.Events[1] != a.Events[1] {
+		t.Fatalf("events mismatch: %+v", b.Events)
+	}
+	if len(b.Recent) != 1 || b.Recent[0] != a.Recent[0] {
+		t.Fatalf("recent mismatch: %+v", b.Recent)
+	}
+}

@@ -1,0 +1,440 @@
+package check
+
+import (
+	"powerpunch/internal/flit"
+	"powerpunch/internal/mesh"
+	"powerpunch/internal/pg"
+	"powerpunch/internal/router"
+	"powerpunch/internal/routing"
+)
+
+// legalTransition is the power-gating FSM's transition relation as
+// specified in the paper's Section 2.2 (and implemented in internal/pg):
+// gating passes through Draining, waking through Waking, and neither is
+// skippable.
+func legalTransition(from, to pg.State) bool {
+	switch {
+	case from == to:
+		return true
+	case from == pg.Active && to == pg.Draining:
+		return true
+	case from == pg.Draining && to == pg.Active:
+		return true
+	case from == pg.Draining && to == pg.Gated:
+		return true
+	case from == pg.Gated && to == pg.Waking:
+		return true
+	case from == pg.Waking && to == pg.Active:
+		return true
+	}
+	return false
+}
+
+// checkPG runs the per-cycle power-gating safety invariants:
+//
+//   - pg-fsm-legality: only the transitions of Section 2.2's FSM occur.
+//   - pg-wake-duration: a completed wake spent exactly Twakeup-1
+//     end-of-cycle observations in Waking (the WU cycle itself is the
+//     first of the Twakeup cycles).
+//   - pg-empty: a gated or waking router holds no flits and none are in
+//     flight toward it — power-gating never catches data in the dark.
+func (e *Engine) checkPG(now int64) {
+	if e.first != nil {
+		return
+	}
+	for i, r := range e.view.Routers {
+		cur := r.Ctrl.State()
+		prev := e.prevState[i]
+		if cur != prev {
+			if !legalTransition(prev, cur) {
+				e.fail(now, "pg-fsm-legality", "router %d transitioned %s -> %s", i, prev, cur)
+			}
+			if prev == pg.Waking && cur == pg.Active && e.wakingFor[i] != e.expectWaking {
+				e.fail(now, "pg-wake-duration",
+					"router %d completed wake after %d waking cycles, want %d (Twakeup=%d)",
+					i, e.wakingFor[i], e.expectWaking, e.view.Cfg.WakeupLatency)
+			}
+			e.record(now, "router %d: %s -> %s", i, prev, cur)
+		}
+		if cur == pg.Waking {
+			e.wakingFor[i]++
+			e.wakingSeen[i]++
+		} else {
+			e.wakingFor[i] = 0
+		}
+		if cur == pg.Gated {
+			e.gatedSeen[i]++
+		}
+		e.prevState[i] = cur
+
+		if r.Ctrl.PGAsserted() {
+			if !r.Empty() {
+				e.fail(now, "pg-empty", "router %d is %s with %d flits buffered", i, cur, r.BufferedFlits())
+			}
+			id := mesh.NodeID(i)
+			for _, d := range mesh.LinkDirections {
+				nb := e.view.M.Neighbor(id, d)
+				if nb == mesh.Invalid {
+					continue
+				}
+				if op := e.view.Routers[nb].Out(d.Opposite()); !op.FlitOut.Empty() {
+					e.fail(now, "pg-empty",
+						"router %d is %s with %d flits in flight from router %d", i, cur, op.FlitOut.Len(), nb)
+				}
+			}
+		}
+	}
+}
+
+// checkBlockedHeads runs the per-cycle progress invariants over every
+// pipeline-ready routed head flit (the flits eligible for switch
+// traversal this cycle):
+//
+//   - pg-wake-handshake: its downstream router is never still Gated —
+//     under every power-gating scheme the WU level derived from this
+//     very head reaches the neighbour's controller in the same cycle,
+//     so at worst the neighbour is already Waking.
+//   - punch-nonblocking: the paper's Section 4.1 guarantee. With k-hop
+//     punch, LinkLatency 1 and k*Trouter >= Twakeup, the punch stream a
+//     head emits from k hops out holds its downstream routers awake
+//     gap-free, so a head more than k hops from its source never finds
+//     the next router still waking. (At exactly k hops the injection
+//     NI's one-cycle emission delay can legitimately cost a cycle, so
+//     the bound is strict.)
+//   - deadlock-watchdog: no ready head stalls more than CheckStallLimit
+//     consecutive cycles without a gated/waking downstream excuse.
+func (e *Engine) checkBlockedHeads(now int64) {
+	if e.first != nil {
+		return
+	}
+	hops := e.view.Cfg.PunchHops
+	for i, r := range e.view.Routers {
+		if r.Empty() {
+			continue
+		}
+		trouter := r.PipelineCycles()
+		slots := e.stalls[i]
+		r.ForEachVC(now, func(vv router.VCView) {
+			slot := &slots[vv.Key]
+			ready := vv.Front != nil && vv.Routed && vv.FrontAge >= trouter
+			if !ready {
+				slot.f, slot.cnt = nil, 0
+				return
+			}
+			if slot.f == vv.Front {
+				slot.cnt++
+			} else {
+				slot.f, slot.cnt = vv.Front, 1
+			}
+			if vv.OutDir == mesh.Local {
+				return // ejection never blocks (infinite NI credits)
+			}
+			nb := r.Out(vv.OutDir).Neighbor()
+			if nb == mesh.Invalid {
+				return
+			}
+			switch st := e.view.Routers[nb].Ctrl.State(); st {
+			case pg.Gated:
+				e.fail(now, "pg-wake-handshake",
+					"router %d %v vc%d: ready head of packet %d is blocked by router %d still gated (no wakeup honoured)",
+					i, vv.Port, vv.Index, vv.Front.Packet.ID, nb)
+			case pg.Waking:
+				if e.punchGuard && e.view.M.HopDistance(vv.Front.Packet.Src, nb) > hops {
+					e.fail(now, "punch-nonblocking",
+						"router %d %v vc%d: head of packet %d (src %d, %d hops from router %d) arrived before router %d finished waking — the %d-hop punch did not hide Twakeup",
+						i, vv.Port, vv.Index, vv.Front.Packet.ID, vv.Front.Packet.Src,
+						e.view.M.HopDistance(vv.Front.Packet.Src, nb), nb, nb, hops)
+				}
+				slot.cnt = 0 // waking downstream is a legitimate stall
+			default:
+				if slot.cnt > e.stallLimit {
+					e.fail(now, "deadlock-watchdog",
+						"router %d %v vc%d: head of packet %d stalled %d cycles toward %v with downstream router %d %s",
+						i, vv.Port, vv.Index, vv.Front.Packet.ID, slot.cnt, vv.OutDir, nb, st)
+				}
+			}
+		})
+		if e.first != nil {
+			return
+		}
+	}
+}
+
+// checkCredits verifies credit conservation on every link (and on the
+// NI's local injection loop): for each VC, upstream credits + downstream
+// occupancy + flits on the wire + credits on the return wire add up to
+// exactly the buffer depth. Anything else means credits leaked or were
+// forged — the failure mode that silently corrupts flow control.
+func (e *Engine) checkCredits(now int64) {
+	if e.first != nil {
+		return
+	}
+	cfg := e.view.Cfg
+	for i, r := range e.view.Routers {
+		id := mesh.NodeID(i)
+		for _, d := range mesh.LinkDirections {
+			nb := e.view.M.Neighbor(id, d)
+			if nb == mesh.Invalid {
+				continue
+			}
+			op := r.Out(d)
+			ip := e.view.Routers[nb].In(d.Opposite())
+			for v := 0; v < r.NumVCs(); v++ {
+				depth := cfg.VCDepth(v % e.perVN)
+				wire := 0
+				op.FlitOut.ForEach(func(ft router.FlitInTransit) {
+					if ft.VC == v {
+						wire++
+					}
+				})
+				back := 0
+				ip.CreditOut.ForEach(func(c router.Credit) {
+					if c.VC == v {
+						back++
+					}
+				})
+				got := op.Credits(v) + e.view.Routers[nb].VCOccupancy(d.Opposite(), v) + wire + back
+				if got != depth {
+					e.fail(now, "credit-conservation",
+						"link %d->%d vc%d: credits %d + occupancy %d + wire %d + returning %d != depth %d",
+						i, nb, v, op.Credits(v), e.view.Routers[nb].VCOccupancy(d.Opposite(), v), wire, back, depth)
+					return
+				}
+			}
+		}
+		// The NI is the upstream "router" of the local input port.
+		nif := e.view.NIs[i]
+		ip := r.In(mesh.Local)
+		for v := 0; v < r.NumVCs(); v++ {
+			depth := cfg.VCDepth(v % e.perVN)
+			back := 0
+			ip.CreditOut.ForEach(func(c router.Credit) {
+				if c.VC == v {
+					back++
+				}
+			})
+			got := nif.CreditCount(v) + r.VCOccupancy(mesh.Local, v) + back
+			if got != depth {
+				e.fail(now, "credit-conservation",
+					"ni %d local vc%d: credits %d + occupancy %d + returning %d != depth %d",
+					i, v, nif.CreditCount(v), r.VCOccupancy(mesh.Local, v), back, depth)
+				return
+			}
+		}
+	}
+}
+
+// checkConservation verifies per-VN flit conservation across the whole
+// network: every flit ever injected is either buffered in a router, on a
+// wire, or ejected (a flit counts as ejected once the NI accepts it,
+// even while its packet is still reassembling). A leak or a duplicate
+// anywhere breaks the sum.
+func (e *Engine) checkConservation(now int64) {
+	if e.first != nil {
+		return
+	}
+	var injected, ejected, inFlight [flit.NumVirtualNetworks]int64
+	for i, r := range e.view.Routers {
+		nif := e.view.NIs[i]
+		for vn := flit.VirtualNetwork(0); vn < flit.NumVirtualNetworks; vn++ {
+			injected[vn] += nif.InjectedFlitsVN(vn)
+			ejected[vn] += nif.EjectedFlitsVN(vn)
+		}
+		if !r.Empty() {
+			for v := 0; v < r.NumVCs(); v++ {
+				vn := flit.VirtualNetwork(v / e.perVN)
+				for p := 0; p < mesh.NumPorts; p++ {
+					inFlight[vn] += int64(r.VCOccupancy(mesh.Direction(p), v))
+				}
+			}
+		}
+		for p := 0; p < mesh.NumPorts; p++ {
+			r.Out(mesh.Direction(p)).FlitOut.ForEach(func(ft router.FlitInTransit) {
+				inFlight[ft.Flit.Packet.VN]++
+			})
+		}
+	}
+	for vn := flit.VirtualNetwork(0); vn < flit.NumVirtualNetworks; vn++ {
+		if injected[vn] != ejected[vn]+inFlight[vn] {
+			e.fail(now, "flit-conservation",
+				"vn %v: injected %d != ejected %d + in-flight %d",
+				vn, injected[vn], ejected[vn], inFlight[vn])
+			return
+		}
+	}
+}
+
+// checkVCLegality verifies the per-VC state machine: occupancy within
+// depth, VA only after RC, flits in the VCs of their own virtual
+// network, routes matching XY, and the downstream VC ownership table
+// consistent in both directions.
+func (e *Engine) checkVCLegality(now int64) {
+	if e.first != nil {
+		return
+	}
+	for i, r := range e.view.Routers {
+		views := e.vcScratch[:0]
+		r.ForEachVC(now, func(vv router.VCView) { views = append(views, vv) })
+		e.vcScratch = views[:0]
+
+		for _, vv := range views {
+			if vv.Occupancy > vv.Depth {
+				e.fail(now, "vc-legality", "router %d %v vc%d: occupancy %d > depth %d",
+					i, vv.Port, vv.Index, vv.Occupancy, vv.Depth)
+				return
+			}
+			if vv.VADone && !vv.Routed {
+				e.fail(now, "vc-legality", "router %d %v vc%d: VA done before RC", i, vv.Port, vv.Index)
+				return
+			}
+			if vv.VADone {
+				if vv.OutVC/e.perVN != vv.Index/e.perVN {
+					e.fail(now, "vc-legality", "router %d %v vc%d: allocated out-VC %d crosses virtual networks",
+						i, vv.Port, vv.Index, vv.OutVC)
+					return
+				}
+				if own := r.Out(vv.OutDir).Owner(vv.OutVC); own != vv.Key {
+					e.fail(now, "vc-legality",
+						"router %d %v vc%d: allocated out-VC %d of %v owned by key %d, want %d",
+						i, vv.Port, vv.Index, vv.OutVC, vv.OutDir, own, vv.Key)
+					return
+				}
+			}
+			if vv.Front == nil {
+				continue
+			}
+			if int(vv.Front.Packet.VN) != vv.Index/e.perVN {
+				e.fail(now, "vc-legality", "router %d %v vc%d: buffered flit of vn %v in a vn-%d VC",
+					i, vv.Port, vv.Index, vv.Front.Packet.VN, vv.Index/e.perVN)
+				return
+			}
+			if vv.Front.Type.IsHead() {
+				if vv.Routed {
+					if want := routing.XY(e.view.M, r.ID, vv.Front.Dst()); vv.OutDir != want {
+						e.fail(now, "vc-legality",
+							"router %d %v vc%d: packet %d routed %v, XY says %v",
+							i, vv.Port, vv.Index, vv.Front.Packet.ID, vv.OutDir, want)
+						return
+					}
+				}
+			} else if !vv.Routed || !vv.VADone {
+				e.fail(now, "vc-legality",
+					"router %d %v vc%d: body/tail flit at front without held route (routed=%v vaDone=%v)",
+					i, vv.Port, vv.Index, vv.Routed, vv.VADone)
+				return
+			}
+		}
+
+		// Reverse direction: every owned downstream VC has exactly the
+		// input VC its key names, in the allocated state.
+		for p := 0; p < mesh.NumPorts; p++ {
+			op := r.Out(mesh.Direction(p))
+			for v := 0; v < r.NumVCs(); v++ {
+				own := op.Owner(v)
+				if own < 0 {
+					continue
+				}
+				vv := views[own]
+				if !vv.VADone || vv.OutDir != mesh.Direction(p) || vv.OutVC != v {
+					e.fail(now, "vc-legality",
+						"router %d out %v vc%d: owner key %d does not hold this VC (vaDone=%v outDir=%v outVC=%d)",
+						i, mesh.Direction(p), v, own, vv.VADone, vv.OutDir, vv.OutVC)
+					return
+				}
+			}
+		}
+	}
+}
+
+// checkPipes verifies delivery hygiene: after the cycle's delivery phase
+// no pipe holds an item that was already due.
+func (e *Engine) checkPipes(now int64) {
+	if e.first != nil {
+		return
+	}
+	for i, r := range e.view.Routers {
+		for p := 0; p < mesh.NumPorts; p++ {
+			d := mesh.Direction(p)
+			if n := r.Out(d).FlitOut.StaleCount(now); n != 0 {
+				e.fail(now, "stale-pipe", "router %d out %v: %d flits missed delivery", i, d, n)
+				return
+			}
+			if n := r.In(d).CreditOut.StaleCount(now); n != 0 {
+				e.fail(now, "stale-pipe", "router %d in %v: %d credits missed delivery", i, d, n)
+				return
+			}
+		}
+	}
+}
+
+// checkFabric verifies punch-fabric sanity: inbound targets are valid
+// mesh nodes within the residual hop budget (a target enters a relay
+// inbox only after consuming at least one hop).
+func (e *Engine) checkFabric(now int64) {
+	if e.first != nil || e.view.Fabric == nil {
+		return
+	}
+	hops := e.view.Fabric.Hops()
+	for n := 0; n < e.view.M.NumNodes(); n++ {
+		id := mesh.NodeID(n)
+		for _, t := range e.view.Fabric.InboxTargets(id) {
+			if !e.view.M.Contains(t) {
+				e.fail(now, "fabric-sanity", "node %d inbox holds invalid target %d", n, t)
+				return
+			}
+			if d := e.view.M.HopDistance(id, t); d > hops-1 {
+				e.fail(now, "fabric-sanity",
+					"node %d inbox target %d is %d hops away, punch budget leaves at most %d",
+					n, t, d, hops-1)
+				return
+			}
+		}
+	}
+}
+
+// checkPGStats cross-checks the controllers' break-even (BET) accounting
+// against the engine's independent observation of the same FSM: gated
+// and waking cycle counters must agree exactly (the controller counts at
+// its step, the engine at end of cycle, so a period in progress is one
+// ahead), and event counters must be mutually consistent.
+func (e *Engine) checkPGStats(now int64) {
+	if e.first != nil {
+		return
+	}
+	for i, r := range e.view.Routers {
+		if !r.Ctrl.Enabled() {
+			continue
+		}
+		st := r.Ctrl.Stats()
+		adjG, adjW := int64(0), int64(0)
+		switch r.Ctrl.State() {
+		case pg.Gated:
+			adjG = 1
+		case pg.Waking:
+			adjW = 1
+		}
+		if e.gatedSeen[i]-adjG != st.GatedCycles {
+			e.fail(now, "pg-bet-accounting",
+				"router %d: controller counted %d gated cycles, engine observed %d",
+				i, st.GatedCycles, e.gatedSeen[i]-adjG)
+			return
+		}
+		if e.wakingSeen[i]-adjW != st.WakingCycles {
+			e.fail(now, "pg-bet-accounting",
+				"router %d: controller counted %d waking cycles, engine observed %d",
+				i, st.WakingCycles, e.wakingSeen[i]-adjW)
+			return
+		}
+		if st.ShortGatings > st.GatingEvents {
+			e.fail(now, "pg-bet-accounting",
+				"router %d: %d short gatings exceed %d gating events", i, st.ShortGatings, st.GatingEvents)
+			return
+		}
+		if st.WakeupsPunch+st.WakeupsWU > st.GatingEvents {
+			e.fail(now, "pg-bet-accounting",
+				"router %d: %d attributed wakeups exceed %d gating events",
+				i, st.WakeupsPunch+st.WakeupsWU, st.GatingEvents)
+			return
+		}
+	}
+}

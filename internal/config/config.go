@@ -133,7 +133,48 @@ type Config struct {
 	WarmupCycles  int64 // cycles before statistics collection starts
 	MeasureCycles int64 // cycles of measured injection
 	DrainCycles   int64 // max cycles to wait for in-flight packets
+
+	// Correctness checking (internal/check).
+	// Checks enables the per-cycle invariant engine: flit/credit
+	// conservation, VC state legality, power-gating safety, the punch
+	// non-blocking guarantee, and a deadlock watchdog. Off by default;
+	// when disabled the tick loop pays no cost.
+	Checks bool
+	// CheckInterval is the stride, in cycles, of the expensive
+	// whole-network sweeps (conservation and credit accounting). The
+	// cheap safety invariants run every cycle regardless. 0 selects the
+	// default of 8.
+	CheckInterval int
+	// CheckStallLimit is the deadlock-watchdog threshold: a routed head
+	// flit stalled at the front of a VC for more than this many cycles
+	// without a gated-downstream excuse is reported. 0 selects the
+	// default of 4096.
+	CheckStallLimit int
+	// Faults injects deliberate defects for exercising the invariant
+	// engine and the replay harness. All false in normal operation.
+	Faults Faults
 }
+
+// Faults enumerates deliberate, switchable defects. Each one disables a
+// safety mechanism the invariant engine is supposed to guard, so tests
+// (and `noctrace replay-failure`) can confirm the matching invariant
+// fires and that the captured artifact reproduces deterministically.
+// The struct is part of Config so a failure artifact carries it and a
+// replay re-applies the same defect.
+type Faults struct {
+	// IgnoreWakeups makes gated PG controllers ignore WU and punch-hold
+	// inputs: a gated router never wakes. Caught by the pg-wake-handshake
+	// invariant (and eventually the watchdog).
+	IgnoreWakeups bool
+	// DropPunchRelays suppresses multi-hop punch relaying in the fabric,
+	// so punch signals reach only one hop. Caught by the punch-nonblocking
+	// invariant: routers farther than one hop from the source are still
+	// waking when the packet arrives.
+	DropPunchRelays bool
+}
+
+// Any reports whether any fault is enabled.
+func (f Faults) Any() bool { return f.IgnoreWakeups || f.DropPunchRelays }
 
 // Default returns the paper's primary configuration: 8x8 mesh, XY routing,
 // wormhole switching, 3 VNs with 2x3-flit data VCs and 1x1-flit control
@@ -247,6 +288,12 @@ func (c *Config) Validate() error {
 	}
 	if c.NILatency < 1 {
 		return fmt.Errorf("config: NILatency must be >= 1, got %d", c.NILatency)
+	}
+	if c.CheckInterval < 0 {
+		return fmt.Errorf("config: CheckInterval must be >= 0, got %d", c.CheckInterval)
+	}
+	if c.CheckStallLimit < 0 {
+		return fmt.Errorf("config: CheckStallLimit must be >= 0, got %d", c.CheckStallLimit)
 	}
 	return nil
 }

@@ -65,6 +65,10 @@ type Fabric struct {
 	verify    bool
 	codebooks map[int]map[string]bool
 
+	// faultDropRelays is a deliberate defect for invariant-engine tests;
+	// see SetFaultDropRelays.
+	faultDropRelays bool
+
 	stats FabricStats
 }
 
@@ -205,7 +209,9 @@ func (f *Fabric) Step() {
 				}
 			}
 		}
-		relay(f.inbox[node], true)
+		if !f.faultDropRelays {
+			relay(f.inbox[node], true)
+		}
 		relay(f.pending[node], false)
 
 		f.hold[node] = hold
@@ -246,6 +252,12 @@ func (f *Fabric) Step() {
 		f.strictUsed[node] = [mesh.NumLinkDirs]bool{}
 	}
 }
+
+// SetFaultDropRelays installs a deliberate defect: inbound punch targets
+// are absorbed instead of relayed, so punch signals reach only one hop
+// from their emitter. It exists solely so the punch-nonblocking invariant
+// can be demonstrated against a real failure; see config.Faults.
+func (f *Fabric) SetFaultDropRelays(v bool) { f.faultDropRelays = v }
 
 // Hold reports whether node n must be awake this cycle because a punch
 // named or transited it (valid after Step).

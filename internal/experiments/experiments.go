@@ -21,6 +21,22 @@ import (
 	"powerpunch/internal/power"
 )
 
+// EnableChecks turns the cycle-level invariant engine (config.Checks)
+// on for every run launched by the experiment drivers. Off by default:
+// the engine costs simulation throughput, so it is opted into from the
+// CLI (`powerpunch -checks`) and the test suite rather than paid on
+// every figure regeneration.
+var EnableChecks bool
+
+// applyChecks stamps the package-wide check setting onto one run's
+// configuration; every driver funnels its config through here.
+func applyChecks(cfg config.Config) config.Config {
+	if EnableChecks {
+		cfg.Checks = true
+	}
+	return cfg
+}
+
 // Fidelity scales experiment cost: Quick keeps unit-test and benchmark
 // runtimes low; Full reproduces the paper-quality statistics.
 type Fidelity int

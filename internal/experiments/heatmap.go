@@ -28,6 +28,7 @@ func RunHeatmap(scheme config.Scheme, f Fidelity, seed int64) (*HeatmapResult, e
 	cfg := config.Default().WithScheme(scheme)
 	cfg.WarmupCycles = f.warmupCycles()
 	cfg.MeasureCycles = f.measureCycles()
+	cfg = applyChecks(cfg)
 	net, err := network.New(cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which multiplies simulation cost roughly tenfold; the
+// driver-matrix test trims its shapes accordingly to stay inside the
+// package test timeout.
+const raceEnabled = true

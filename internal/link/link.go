@@ -81,3 +81,16 @@ func (p *Pipe[T]) ForEach(fn func(T)) {
 		fn(p.q[i].v)
 	}
 }
+
+// StaleCount returns the number of in-flight items already due (arrival
+// time <= now). After a cycle's delivery phase it must be zero; the
+// invariant engine uses it to detect missed deliveries.
+func (p *Pipe[T]) StaleCount(now int64) int {
+	n := 0
+	for i := range p.q {
+		if p.q[i].at <= now {
+			n++
+		}
+	}
+	return n
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"powerpunch/internal/check"
 	"powerpunch/internal/config"
 	"powerpunch/internal/flit"
 	"powerpunch/internal/mesh"
@@ -373,6 +374,127 @@ func TestWakeupLatencySweepMonotonic(t *testing.T) {
 				tw, r.Summary.AvgLatency, prev)
 		}
 		prev = r.Summary.AvgLatency
+	}
+}
+
+// patternDriver injects Bernoulli traffic under a destination pattern,
+// bypassing the traffic package so this stays an independent check. Two
+// drivers built with the same seed submit an identical event sequence,
+// which is what makes the metamorphic scheme comparisons below valid:
+// every run sees the same offered traffic, only the power-gating policy
+// differs.
+type patternDriver struct {
+	rng   *rand.Rand
+	rate  float64
+	dst   func(n *Network, src mesh.NodeID, r *rand.Rand) mesh.NodeID
+	until int64
+}
+
+func (d *patternDriver) Tick(n *Network, now int64) {
+	if now >= d.until {
+		return
+	}
+	for id := mesh.NodeID(0); n.M.Contains(id); id++ {
+		if d.rng.Float64() >= d.rate {
+			continue
+		}
+		dst := d.dst(n, id, d.rng)
+		if dst == id {
+			continue
+		}
+		kind, vn := flit.KindControl, flit.VNRequest
+		if d.rng.Intn(2) == 0 {
+			kind, vn = flit.KindData, flit.VNResponse
+		}
+		p := n.NewPacket(id, dst, vn, kind)
+		n.NI(id).Submit(p, true, now)
+	}
+}
+
+func (d *patternDriver) Done() bool { return false }
+
+// metamorphicPatterns are the destination generators for the scheme
+// comparison: uniform random, matrix transpose, and a 50% hotspot. Each
+// carries its own low-load rate — the hotspot concentrates half the
+// traffic on one ejection port, so it must offer less per node to stay
+// out of the saturated regime where queueing delay swamps the
+// power-gating penalty the relations are about.
+func metamorphicPatterns() map[string]struct {
+	rate float64
+	dst  func(n *Network, src mesh.NodeID, r *rand.Rand) mesh.NodeID
+} {
+	return map[string]struct {
+		rate float64
+		dst  func(n *Network, src mesh.NodeID, r *rand.Rand) mesh.NodeID
+	}{
+		"uniform": {0.01, func(n *Network, src mesh.NodeID, r *rand.Rand) mesh.NodeID {
+			return mesh.NodeID(r.Intn(n.M.NumNodes()))
+		}},
+		"transpose": {0.01, func(n *Network, src mesh.NodeID, r *rand.Rand) mesh.NodeID {
+			c := n.M.CoordOf(src)
+			return n.M.NodeAt(mesh.Coord{X: c.Y, Y: c.X})
+		}},
+		"hotspot": {0.002, func(n *Network, src mesh.NodeID, r *rand.Rand) mesh.NodeID {
+			if r.Float64() < 0.5 {
+				return mesh.NodeID(n.M.NumNodes() - 1)
+			}
+			return mesh.NodeID(r.Intn(n.M.NumNodes()))
+		}},
+	}
+}
+
+// TestMetamorphicSchemeRelations pins the paper's central claims as
+// metamorphic relations over identical traffic (same seed, same
+// pattern, different scheme), with the invariant engine live:
+//
+//  1. PowerPunch-PG at low load stays close to the No-PG baseline —
+//     "power gating with no performance penalty" (Abstract, Section 6).
+//     The paper reports +0.1%-0.6% latency on PARSEC; this simulator's
+//     conventional-router model measures +5-10% at these synthetic
+//     loads, so the bound is x1.15 rather than the paper's headline
+//     (EXPERIMENTS.md tracks the absolute gap).
+//  2. ConvOpt-PG is strictly and substantially worse than
+//     PowerPunch-PG (the paper's ~1.5x-2x penalty, Figure 12): bound
+//     ConvOpt > PunchPG x1.2.
+func TestMetamorphicSchemeRelations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical scheme comparison")
+	}
+	for name, pat := range metamorphicPatterns() {
+		name, pat := name, pat
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			lat := map[config.Scheme]float64{}
+			for _, s := range []config.Scheme{config.NoPG, config.PowerPunchPG, config.ConvOptPG} {
+				cfg := config.Default()
+				cfg.Scheme = s
+				cfg.WarmupCycles = 1000
+				cfg.MeasureCycles = 8000
+				cfg.Checks = true
+				n := mustNew(t, cfg)
+				n.OnViolation = func(a *check.Artifact) {
+					t.Errorf("%s/%v: %v", name, s, &a.Violation)
+				}
+				d := &patternDriver{rng: rand.New(rand.NewSource(17)), rate: pat.rate, dst: pat.dst, until: 1 << 40}
+				res := n.Run(d)
+				if !res.Drained {
+					t.Fatalf("%v did not drain", s)
+				}
+				lat[s] = res.Summary.AvgLatency
+			}
+			noPG, punch, conv := lat[config.NoPG], lat[config.PowerPunchPG], lat[config.ConvOptPG]
+			t.Logf("%s: NoPG=%.2f PunchPG=%.2f (%+.1f%%) ConvOpt=%.2f (%+.1f%%)",
+				name, noPG, punch, (punch/noPG-1)*100, conv, (conv/noPG-1)*100)
+			if punch > noPG*1.15 {
+				t.Errorf("PowerPunch-PG latency %.2f exceeds No-PG %.2f by more than 15%%", punch, noPG)
+			}
+			if punch < noPG {
+				t.Errorf("PowerPunch-PG latency %.2f below No-PG %.2f: gating cannot speed the network up", punch, noPG)
+			}
+			if conv <= punch*1.2 {
+				t.Errorf("ConvOpt-PG latency %.2f not substantially worse than PowerPunch-PG %.2f", conv, punch)
+			}
+		})
 	}
 }
 

@@ -9,6 +9,7 @@ package network
 import (
 	"fmt"
 
+	"powerpunch/internal/check"
 	"powerpunch/internal/config"
 	"powerpunch/internal/core"
 	"powerpunch/internal/flit"
@@ -29,6 +30,14 @@ type Network struct {
 	Fabric  *core.Fabric // nil unless the scheme uses punch signals
 	Acct    *power.Accountant
 	Col     *stats.Collector
+
+	// Checker is the invariant engine, non-nil when Cfg.Checks is set.
+	Checker *check.Engine
+	// OnViolation, if non-nil, receives the failure artifact of the
+	// first invariant violation instead of the default behaviour
+	// (write the artifact to a JSON file in the temp directory and
+	// panic). Checking stops after the first violation either way.
+	OnViolation func(*check.Artifact)
 
 	now    int64
 	pktSeq uint64
@@ -85,6 +94,30 @@ func New(cfg config.Config) (*Network, error) {
 		r := router.New(id, m, &n.Cfg, ctrl, acct)
 		n.Routers = append(n.Routers, r)
 		n.NIs = append(n.NIs, ni.New(id, m, &n.Cfg, r, fab, col))
+	}
+
+	// Deliberate defects for exercising the invariant engine (and for
+	// replaying artifacts captured from faulty runs).
+	if cfg.Faults.IgnoreWakeups {
+		for _, r := range n.Routers {
+			r.Ctrl.SetFaultIgnoreWakeups(true)
+		}
+	}
+	if cfg.Faults.DropPunchRelays && fab != nil {
+		fab.SetFaultDropRelays(true)
+	}
+
+	if cfg.Checks {
+		n.Checker = check.New(check.View{
+			Cfg:     &n.Cfg,
+			M:       m,
+			Routers: n.Routers,
+			NIs:     n.NIs,
+			Fabric:  fab,
+		})
+		for _, nif := range n.NIs {
+			n.Checker.ObserveNI(nif)
+		}
 	}
 	return n, nil
 }
@@ -188,7 +221,31 @@ func (n *Network) Step() {
 	}
 	n.Acct.TickCycle()
 
+	// 9. Invariant engine (only when Cfg.Checks is set).
+	if n.Checker != nil {
+		if v := n.Checker.EndCycle(now); v != nil {
+			n.reportViolation(v)
+		}
+	}
+
 	n.now = now + 1
+}
+
+// reportViolation handles the invariant engine's first violation: hand
+// the artifact to OnViolation when set, otherwise persist it next to the
+// temp directory and panic with the replay instructions.
+func (n *Network) reportViolation(v *check.Violation) {
+	a := n.Checker.Artifact(v)
+	if n.OnViolation != nil {
+		n.OnViolation(a)
+		return
+	}
+	path, err := check.WriteArtifactFile(a, "")
+	where := "artifact could not be written: " + fmt.Sprint(err)
+	if err == nil {
+		where = "artifact written to " + path + " (replay: noctrace replay-failure -in " + path + ")"
+	}
+	panic(fmt.Sprintf("network: %v; %s", v, where))
 }
 
 // deliver drains all link pipes whose contents arrive at cycle `now`.

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"powerpunch/internal/check"
 	"powerpunch/internal/config"
 )
 
@@ -38,5 +39,47 @@ func TestSoakLongRun(t *testing.T) {
 		if p.EjectedAt == 0 {
 			t.Fatalf("soak lost packet %v", p)
 		}
+	}
+}
+
+// TestSoakWithChecks is the tier-2 gate variant (Makefile `check`,
+// `go test -short -run Soak`): every scheme on an 8x8 mesh with the
+// full invariant engine sweeping every cycle, sized to stay fast enough
+// for -short. The long randomized run above stresses duration; this one
+// stresses invariant coverage under concurrent schemes.
+func TestSoakWithChecks(t *testing.T) {
+	for _, s := range config.Schemes {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := config.Default()
+			cfg.Scheme = s
+			cfg.WarmupCycles = 0
+			cfg.MeasureCycles = 1 << 40
+			cfg.Checks = true
+			cfg.CheckInterval = 1
+			n := mustNew(t, cfg)
+			violated := false
+			n.OnViolation = func(a *check.Artifact) {
+				violated = true
+				t.Errorf("%v: %v", s, &a.Violation)
+			}
+			d := &randomDriver{rng: rand.New(rand.NewSource(99)), rate: 0.012, until: 6_000}
+			for cyc := 0; cyc < 6_000 && !violated; cyc++ {
+				d.Tick(n, n.Now())
+				n.Step()
+			}
+			for cyc := 0; cyc < 20_000 && !n.Quiesced(); cyc++ {
+				n.Step()
+			}
+			if !n.Quiesced() {
+				t.Fatal("checked soak did not quiesce")
+			}
+			for _, p := range d.pkts {
+				if p.EjectedAt == 0 {
+					t.Fatalf("checked soak lost packet %v", p)
+				}
+			}
+		})
 	}
 }

@@ -67,6 +67,10 @@ type NI struct {
 	Submitted int64
 	Injected  int64
 	Ejected   int64
+
+	// Per-VN flit counters for the invariant engine's conservation check.
+	injFlits [flit.NumVirtualNetworks]int64
+	ejFlits  [flit.NumVirtualNetworks]int64
 }
 
 // New returns the NI for node id attached to router r. fab may be nil
@@ -284,6 +288,7 @@ func (n *NI) pushFlit(o *openInjection, now int64) bool {
 	f := o.flits[o.next]
 	n.credits[o.vcIdx]--
 	n.r.ReceiveFlit(mesh.Local, o.vcIdx, f, now)
+	n.injFlits[o.p.VN]++
 	o.next++
 	if o.next >= len(o.flits) {
 		vn := int(o.p.VN)
@@ -333,6 +338,7 @@ func (n *NI) ReceiveEject(ft router.FlitInTransit, now int64) {
 			n.Node, ft.VC, got, want, ft.Flit))
 	}
 	n.asm[ft.VC] = append(n.asm[ft.VC], ft.Flit)
+	n.ejFlits[ft.Flit.Packet.VN]++
 	if !ft.Flit.Type.IsTail() {
 		return
 	}
@@ -359,6 +365,18 @@ func (n *NI) Busy() bool {
 	}
 	return false
 }
+
+// InjectedFlitsVN returns the number of flits this NI has pushed into the
+// local router on virtual network vn (invariant engine).
+func (n *NI) InjectedFlitsVN(vn flit.VirtualNetwork) int64 { return n.injFlits[vn] }
+
+// EjectedFlitsVN returns the number of flits this NI has accepted from the
+// local router's ejection port on virtual network vn (invariant engine).
+func (n *NI) EjectedFlitsVN(vn flit.VirtualNetwork) int64 { return n.ejFlits[vn] }
+
+// CreditCount returns the NI's credit count for local-port VC v: the free
+// slots it believes the router's local input VC has (invariant engine).
+func (n *NI) CreditCount(v int) int { return n.credits[v] }
 
 // QueuedPackets returns the number of messages waiting anywhere in the NI.
 func (n *NI) QueuedPackets() int {

@@ -92,6 +92,10 @@ type Controller struct {
 
 	stats Stats
 
+	// faultIgnoreWakeups is a deliberate defect for invariant-engine
+	// tests; see SetFaultIgnoreWakeups.
+	faultIgnoreWakeups bool
+
 	// onGate/onWake are optional energy-accounting callbacks.
 	onGate func()
 	onWake func()
@@ -206,6 +210,9 @@ func (c *Controller) Step(in Inputs) {
 	case Gated:
 		c.stats.GatedCycles++
 		c.gatedFor++
+		if c.faultIgnoreWakeups {
+			return
+		}
 		if in.Wakeup || in.PunchHold {
 			if in.PunchHold {
 				c.stats.WakeupsPunch++
@@ -251,6 +258,12 @@ func (c *Controller) beginWake() {
 		c.onWake()
 	}
 }
+
+// SetFaultIgnoreWakeups installs a deliberate defect: a gated controller
+// ignores WU and punch-hold levels and never wakes. It exists solely so
+// the invariant engine's power-gating safety checks can be demonstrated
+// against a real failure; see config.Faults.
+func (c *Controller) SetFaultIgnoreWakeups(v bool) { c.faultIgnoreWakeups = v }
 
 // ForceWake immediately begins waking a gated router (used by tests and
 // by drain logic at the end of a simulation).

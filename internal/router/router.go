@@ -94,6 +94,10 @@ func (op *OutputPort) Neighbor() mesh.NodeID { return op.neighbor }
 // Credits returns the available credit count for downstream VC v.
 func (op *OutputPort) Credits(v int) int { return op.credits[v] }
 
+// Owner returns the arbitration key (see Router.ForEachVC) of the input
+// VC holding downstream VC v of this output port, or -1 when free.
+func (op *OutputPort) Owner(v int) int { return op.owner[v] }
+
 // Router is one mesh router.
 type Router struct {
 	ID   mesh.NodeID
@@ -411,6 +415,53 @@ func (r *Router) WantsOutputAtSA(want *[mesh.NumPorts]bool, now int64) {
 		}
 	}
 }
+
+// VCView is a read-only snapshot of one input virtual channel, exposed
+// for the internal/check invariant engine. Routed/VADone/OutDir/OutVC
+// describe the packet currently owning the VC; they can outlive the
+// buffered flits (a wormhole packet's body may still be upstream while
+// the route is held).
+type VCView struct {
+	Port      mesh.Direction
+	Index     int // VC index within the port
+	Key       int // arbitration key, matches OutputPort.Owner
+	Depth     int
+	Occupancy int
+	Front     *flit.Flit // nil when the VC is empty
+	FrontAge  int64      // cycles since the front flit arrived
+	Routed    bool
+	VADone    bool
+	OutDir    mesh.Direction
+	OutVC     int
+}
+
+// ForEachVC invokes fn with a snapshot of every input VC of every port.
+func (r *Router) ForEachVC(now int64, fn func(VCView)) {
+	for p := 0; p < mesh.NumPorts; p++ {
+		for vi := 0; vi < r.numVCs; vi++ {
+			v := r.in[p].vcs[vi]
+			view := VCView{
+				Port:      mesh.Direction(p),
+				Index:     vi,
+				Key:       r.vcKey(p, vi),
+				Depth:     v.depth,
+				Occupancy: len(v.buf),
+				Routed:    v.routed,
+				VADone:    v.vaDone,
+				OutDir:    v.outDir,
+				OutVC:     v.outVC,
+			}
+			if len(v.buf) > 0 {
+				view.Front = v.buf[0]
+				view.FrontAge = now - v.arr[0]
+			}
+			fn(view)
+		}
+	}
+}
+
+// PipelineCycles returns Trouter, the per-hop pipeline depth in cycles.
+func (r *Router) PipelineCycles() int64 { return r.trouter }
 
 // ResidentHeads invokes fn for every packet whose head flit is currently
 // buffered in this router. Power Punch emits one punch per resident head

@@ -38,16 +38,21 @@ type Recorder struct {
 }
 
 // NewRecorder attaches a recorder to every NI of net. Attach before
-// running the workload; the recorder must be the only OnSubmit consumer.
+// running the workload. A previously-installed OnSubmit consumer (the
+// invariant engine's event log) keeps firing.
 func NewRecorder(net *network.Network) *Recorder {
 	rec := &Recorder{}
 	for id := mesh.NodeID(0); net.M.Contains(id); id++ {
 		src := id
+		prev := net.NI(id).OnSubmit
 		net.NI(id).OnSubmit = func(p *flit.Packet, hint bool, delay int, now int64) {
 			rec.trace.Events = append(rec.trace.Events, Event{
 				Now: now, Src: src, Dst: p.Dst, VN: p.VN, Kind: p.Kind,
 				Size: p.Size, Hint: hint, Delay: delay,
 			})
+			if prev != nil {
+				prev(p, hint, delay, now)
+			}
 		}
 	}
 	return rec

@@ -19,8 +19,10 @@
 package powerpunch
 
 import (
+	"fmt"
 	"io"
 
+	"powerpunch/internal/check"
 	"powerpunch/internal/cmp"
 	"powerpunch/internal/config"
 	"powerpunch/internal/core"
@@ -165,3 +167,55 @@ func NewTraceReplay(t *TrafficTrace) *TraceReplay { return traffic.NewReplay(t) 
 
 // ReadTrafficTrace parses a JSON-lines trace.
 func ReadTrafficTrace(r io.Reader) (*TrafficTrace, error) { return traffic.ReadTrace(r) }
+
+// CheckArtifact is the structured failure report the invariant engine
+// (Config.Checks) emits on its first violation: the failing invariant
+// and cycle, the full configuration, and every traffic submission, so
+// the run reproduces deterministically.
+type CheckArtifact = check.Artifact
+
+// CheckViolation identifies one invariant failure.
+type CheckViolation = check.Violation
+
+// ReadCheckArtifact parses an artifact written by the invariant engine
+// (see Network.OnViolation and `noctrace replay-failure`).
+func ReadCheckArtifact(r io.Reader) (*CheckArtifact, error) { return check.ReadArtifact(r) }
+
+// ReplayFailure rebuilds the network described by a failure artifact —
+// same configuration, same injected faults, checks enabled — re-submits
+// the recorded traffic, and runs until the violation reproduces. It
+// returns the replayed run's artifact, whose invariant and cycle must
+// match the original for the replay to be considered faithful (the
+// simulator is deterministic, so they always do for a genuine capture).
+// maxCycles <= 0 runs a short grace window past the recorded cycle.
+func ReplayFailure(a *CheckArtifact, maxCycles int64) (*CheckArtifact, error) {
+	cfg := a.Config
+	cfg.Checks = true
+	if maxCycles <= 0 {
+		maxCycles = a.Cycle + 64
+	}
+	net, err := network.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("powerpunch: rebuilding network from artifact: %w", err)
+	}
+	var got *CheckArtifact
+	net.OnViolation = func(x *CheckArtifact) { got = x }
+
+	tr := &TrafficTrace{Events: make([]traffic.Event, 0, len(a.Events))}
+	for _, e := range a.Events {
+		tr.Events = append(tr.Events, traffic.Event{
+			Now: e.Now, Src: e.Src, Dst: e.Dst, VN: e.VN, Kind: e.Kind,
+			Size: e.Size, Hint: e.Hint, Delay: e.Delay,
+		})
+	}
+	drv := traffic.NewReplay(tr)
+	for net.Now() <= maxCycles && got == nil {
+		drv.Tick(net, net.Now())
+		net.Step()
+	}
+	if got == nil {
+		return nil, fmt.Errorf("powerpunch: replay reached cycle %d without reproducing a violation (recorded at cycle %d)",
+			net.Now(), a.Cycle)
+	}
+	return got, nil
+}
