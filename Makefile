@@ -1,14 +1,15 @@
 # Tier-1 gate: the fast correctness bar every change must clear.
 #   make test
 # Tier-2 gate: the full verification sweep — static analysis, the whole
-# suite under the race detector, and a soak pass with the cycle-level
-# invariant engine (config.Checks) sweeping every cycle:
+# suite under the race detector, a soak pass with the cycle-level
+# invariant engine (config.Checks) sweeping every cycle, and the
+# benchmark regression gate against the committed BENCH_*.json baseline:
 #   make check
 # CI should run tier-1 on every push and tier-2 before merging.
 
 GO ?= go
 
-.PHONY: build test vet race soak check fuzz clean
+.PHONY: build test vet race soak check fuzz clean bench bench-check
 
 build:
 	$(GO) build ./...
@@ -28,8 +29,50 @@ race:
 soak:
 	$(GO) test -short -run Soak ./internal/network/
 
-# Tier-2: everything above.
-check: vet test race soak
+# Tier-2: everything above plus the benchmark regression gate.
+check: vet test race soak bench-check
+
+# Benchmark baseline maintenance. `make bench` runs the locked tick
+# benchmarks (per scheme and load point, active-set and full-walk, with
+# -benchmem) and writes BENCH_<today>.json; commit it to move the
+# baseline. `make bench-check` runs the same suite and fails on a >10%
+# regression in ns/op, allocs/op, or cycles/sec against the newest
+# committed BENCH_*.json. Both run the whole suite BENCHCOUNT times as
+# separate interleaved passes (not `-count`, which samples back-to-back
+# inside the same machine-noise phase) and bench-json keeps the best
+# pass per metric, so minute-scale frequency/neighbour phases on shared
+# machines do not trip the gate; bench-diff additionally normalizes out
+# whatever uniform drift remains. The gate locks the per-scheme/load
+# tick benchmarks only; sub-microsecond micros (NetworkStepIdle,
+# PunchFabricStep) are too jitter-prone for a threshold gate — run
+# those by hand with `go test -bench`.
+BENCHES    ?= ^BenchmarkTick$$|^BenchmarkTickFullWalk$$
+BENCHTIME  ?= 0.5s
+BENCHCOUNT ?= 5
+# bench-diff defaults to a 10% gate; shared development machines show
+# sustained ±15% frequency/neighbour phases between identical runs even
+# after interleaved best-of-N and drift normalization, so the Makefile
+# gate allows 20%. Tighten to 0.10 on dedicated CI hardware.
+MAXREGRESS ?= 0.20
+BASELINE   ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+
+define run_bench_passes
+	: > /tmp/bench_raw.txt
+	for i in $$(seq $(BENCHCOUNT)); do \
+		$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime $(BENCHTIME) . \
+			| tee -a /tmp/bench_raw.txt || exit 1; \
+	done
+endef
+
+bench: build
+	$(run_bench_passes)
+	$(GO) run ./cmd/noctrace bench-json -in /tmp/bench_raw.txt -out BENCH_$$(date +%F).json
+
+bench-check: build
+	@test -n "$(BASELINE)" || { echo "bench-check: no committed BENCH_*.json baseline"; exit 1; }
+	$(run_bench_passes)
+	$(GO) run ./cmd/noctrace bench-json -in /tmp/bench_raw.txt -out /tmp/bench_new.json
+	$(GO) run ./cmd/noctrace bench-diff -base $(BASELINE) -new /tmp/bench_new.json -max-regress $(MAXREGRESS)
 
 # Optional: extended coverage-guided fuzzing of the trace parser and the
 # end-to-end fuzz harness (FUZZTIME per target).

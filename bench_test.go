@@ -8,6 +8,7 @@
 package powerpunch
 
 import (
+	"fmt"
 	"testing"
 
 	"powerpunch/internal/config"
@@ -272,6 +273,72 @@ func BenchmarkNetworkStepLoaded(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		drv.Tick(net, net.Now())
 		net.Step()
+	}
+}
+
+// tickBench steps a warmed 8x8 network one simulation cycle per
+// benchmark op, so ns/op reads directly as ns/cycle. The driver runs
+// inside the measured loop exactly as in a real experiment; cycles/sec
+// is reported as a locked metric for the regression harness
+// (cmd/noctrace bench-diff).
+func tickBench(b *testing.B, scheme config.Scheme, load float64, fullTick bool) {
+	b.Helper()
+	cfg := config.Default()
+	cfg.Scheme = scheme
+	cfg.FullTick = fullTick
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 1 << 40
+	net, err := network.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drv := traffic.NewSynthetic(traffic.UniformRandom{}, load, 1)
+	for i := 0; i < 3000; i++ {
+		drv.Tick(net, net.Now())
+		net.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drv.Tick(net, net.Now())
+		net.Step()
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "cycles/sec")
+	}
+}
+
+// tickLoads are the locked load points of the benchmark baseline: the
+// paper's low-load regime (where power gating pays and the active-set
+// scheduler skips most of the mesh), a moderate point, and a high-load
+// point where nearly every node stays hot.
+var tickLoads = []float64{0.02, 0.10, 0.30}
+
+// BenchmarkTick measures per-cycle simulation cost with the active-set
+// scheduler (the default tick) for every scheme and locked load point.
+func BenchmarkTick(b *testing.B) {
+	for _, s := range config.Schemes {
+		for _, load := range tickLoads {
+			s, load := s, load
+			b.Run(fmt.Sprintf("%s/load=%.2f", s, load), func(b *testing.B) {
+				tickBench(b, s, load, false)
+			})
+		}
+	}
+}
+
+// BenchmarkTickFullWalk is BenchmarkTick under Config.FullTick — the
+// seed full-walk tick kept as the differential reference. The gap to
+// BenchmarkTick at low load is the active-set speedup the baseline
+// locks in (>= 2x on PowerPunch-PG at loads <= 0.2).
+func BenchmarkTickFullWalk(b *testing.B) {
+	for _, s := range config.Schemes {
+		for _, load := range tickLoads {
+			s, load := s, load
+			b.Run(fmt.Sprintf("%s/load=%.2f", s, load), func(b *testing.B) {
+				tickBench(b, s, load, true)
+			})
+		}
 	}
 }
 

@@ -18,6 +18,11 @@
 // cycle:
 //
 //	noctrace replay-failure -in /tmp/powerpunch-violation-c123-punch-nonblocking.json
+//
+// Maintain the benchmark baseline (see `make bench` / `make bench-check`):
+//
+//	go test -run '^$' -bench '^BenchmarkTick' -benchmem . | noctrace bench-json -out BENCH_2026-08-06.json
+//	noctrace bench-diff -base BENCH_2026-08-06.json -new /tmp/bench_new.json -max-regress 0.10
 package main
 
 import (
@@ -39,13 +44,17 @@ func main() {
 		replay(os.Args[2:])
 	case "replay-failure":
 		replayFailure(os.Args[2:])
+	case "bench-json":
+		benchJSON(os.Args[2:])
+	case "bench-diff":
+		benchDiff(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: noctrace record|replay|replay-failure [flags] (see -h of each)")
+	fmt.Fprintln(os.Stderr, "usage: noctrace record|replay|replay-failure|bench-json|bench-diff [flags] (see -h of each)")
 	os.Exit(2)
 }
 

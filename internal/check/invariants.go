@@ -103,6 +103,13 @@ func (e *Engine) checkPG(now int64) {
 //     the bound is strict.)
 //   - deadlock-watchdog: no ready head stalls more than CheckStallLimit
 //     consecutive cycles without a gated/waking downstream excuse.
+//   - scheduler-liveness: every head flit at the front of a VC is routed
+//     by the end of its first full cycle in the router (route
+//     computation is look-ahead and unconditional for a stepped
+//     router). A head sitting unrouted for a cycle means the router
+//     holds work but was never stepped — the failure mode of a lost
+//     active-set re-arm, which the deadlock watchdog cannot see because
+//     it only tracks routed heads.
 func (e *Engine) checkBlockedHeads(now int64) {
 	if e.first != nil {
 		return
@@ -115,6 +122,11 @@ func (e *Engine) checkBlockedHeads(now int64) {
 		trouter := r.PipelineCycles()
 		slots := e.stalls[i]
 		r.ForEachVC(now, func(vv router.VCView) {
+			if vv.Front != nil && vv.Front.Type.IsHead() && !vv.Routed && vv.FrontAge >= 1 {
+				e.fail(now, "scheduler-liveness",
+					"router %d %v vc%d: head of packet %d unrouted %d cycles after arrival — the router holds work but is not being stepped",
+					i, vv.Port, vv.Index, vv.Front.Packet.ID, vv.FrontAge)
+			}
 			slot := &slots[vv.Key]
 			ready := vv.Front != nil && vv.Routed && vv.FrontAge >= trouter
 			if !ready {

@@ -134,6 +134,13 @@ type Config struct {
 	MeasureCycles int64 // cycles of measured injection
 	DrainCycles   int64 // max cycles to wait for in-flight packets
 
+	// FullTick disables the active-set tick scheduler and walks every
+	// router, link, and NI each cycle — the seed behaviour. The two paths
+	// are bit-identical (the golden-metrics tests assert it); FullTick
+	// exists as the differential-testing reference and as a bisection aid
+	// when a scheduler bug is suspected.
+	FullTick bool
+
 	// Correctness checking (internal/check).
 	// Checks enables the per-cycle invariant engine: flit/credit
 	// conservation, VC state legality, power-gating safety, the punch
@@ -171,10 +178,18 @@ type Faults struct {
 	// invariant: routers farther than one hop from the source are still
 	// waking when the packet arrives.
 	DropPunchRelays bool
+	// DropRearms makes the active-set tick scheduler drop every re-arm
+	// event (wakeup wants, punch holds, incoming-flit pushes) aimed at a
+	// component it already parked; only local NI injections still
+	// activate. A dropped re-arm leaves a gated router asleep forever or
+	// a delivered flit forever unserved — caught by pg-wake-handshake
+	// (power-gating schemes) or scheduler-liveness (No-PG). No-op under
+	// FullTick.
+	DropRearms bool
 }
 
 // Any reports whether any fault is enabled.
-func (f Faults) Any() bool { return f.IgnoreWakeups || f.DropPunchRelays }
+func (f Faults) Any() bool { return f.IgnoreWakeups || f.DropPunchRelays || f.DropRearms }
 
 // Default returns the paper's primary configuration: 8x8 mesh, XY routing,
 // wormhole switching, 3 VNs with 2x3-flit data VCs and 1x1-flit control

@@ -69,6 +69,17 @@ type Fabric struct {
 	// see SetFaultDropRelays.
 	faultDropRelays bool
 
+	// Activity tracking for the network's active-set scheduler: emitted
+	// is set by any Emit*/Hold* call since the last Step, inboxAny when
+	// the last Step delivered targets into an inbox, and heldList is the
+	// set of nodes the last Step computed a hold for. The fabric needs
+	// stepping only while any of the three is live (NeedsStep); skipping
+	// Step otherwise is safe because all per-cycle state (pending,
+	// localHold, outbox, hold) is provably empty/false then.
+	emitted  bool
+	inboxAny bool
+	heldList []mesh.NodeID
+
 	stats FabricStats
 }
 
@@ -162,6 +173,7 @@ func (f *Fabric) EmitSource(cur, dst mesh.NodeID) {
 	}
 	f.stats.SourceEmissions++
 	f.pending[cur] = appendUnique(f.pending[cur], t)
+	f.emitted = true
 }
 
 // EmitLocal asserts the injection-node punch of PowerPunch-PG's slack 1:
@@ -171,6 +183,7 @@ func (f *Fabric) EmitSource(cur, dst mesh.NodeID) {
 // message per cycle.
 func (f *Fabric) EmitLocal(src, dst mesh.NodeID) {
 	f.localHold[src] = true
+	f.emitted = true
 	if src != dst {
 		f.EmitSource(src, dst)
 	}
@@ -181,6 +194,7 @@ func (f *Fabric) EmitLocal(src, dst mesh.NodeID) {
 // the destination is not yet known, so no multi-hop punch can be formed).
 func (f *Fabric) HoldLocal(n mesh.NodeID) {
 	f.localHold[n] = true
+	f.emitted = true
 }
 
 // Step processes one cycle: computes each router's hold level from the
@@ -189,9 +203,13 @@ func (f *Fabric) HoldLocal(n mesh.NodeID) {
 // exactly once per simulation cycle after all Emit* calls.
 func (f *Fabric) Step() {
 	n := f.m.NumNodes()
+	f.heldList = f.heldList[:0]
 	for node := 0; node < n; node++ {
 		id := mesh.NodeID(node)
 		hold := f.localHold[node] || len(f.pending[node]) > 0 || len(f.inbox[node]) > 0
+		if hold {
+			f.heldList = append(f.heldList, id)
+		}
 
 		// Union of transiting (inbox) and newly-asserted (pending)
 		// targets; relay everything not addressed to this router.
@@ -221,6 +239,7 @@ func (f *Fabric) Step() {
 	for node := 0; node < n; node++ {
 		f.inbox[node] = f.inbox[node][:0]
 	}
+	f.inboxAny = false
 	for node := 0; node < n; node++ {
 		id := mesh.NodeID(node)
 		for di := 0; di < mesh.NumLinkDirs; di++ {
@@ -245,13 +264,29 @@ func (f *Fabric) Step() {
 			for _, t := range out {
 				f.inbox[nb] = appendUnique(f.inbox[nb], t)
 			}
+			f.inboxAny = true
 			f.outbox[node][di] = out[:0]
 		}
 		f.pending[node] = f.pending[node][:0]
 		f.localHold[node] = false
 		f.strictUsed[node] = [mesh.NumLinkDirs]bool{}
 	}
+	f.emitted = false
 }
+
+// NeedsStep reports whether skipping this cycle's Step would change any
+// observable state: an Emit*/Hold* call was made since the last Step, the
+// last Step delivered inbound targets, or it computed a hold (holds are
+// level signals that must be recomputed — and cleared — next cycle). When
+// false, Step would be a pure no-op and the scheduler may skip it.
+func (f *Fabric) NeedsStep() bool {
+	return f.emitted || f.inboxAny || len(f.heldList) > 0
+}
+
+// Held returns the nodes the last Step computed a hold for. The slice is
+// owned by the fabric and valid until the next Step; the scheduler uses
+// it to keep punched routers in the active set.
+func (f *Fabric) Held() []mesh.NodeID { return f.heldList }
 
 // SetFaultDropRelays installs a deliberate defect: inbound punch targets
 // are absorbed instead of relayed, so punch signals reach only one hop

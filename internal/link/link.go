@@ -74,6 +74,22 @@ func (p *Pipe[T]) Drain(now int64, fn func(T)) {
 	}
 }
 
+// DrainAppend removes every item whose arrival time is <= now, in FIFO
+// order, appending them to buf and returning the extended slice. It is
+// the closure-free counterpart of Drain for the allocation-free cycle
+// loop: callers pass a reused scratch slice (typically buf[:0]).
+func (p *Pipe[T]) DrainAppend(now int64, buf []T) []T {
+	n := 0
+	for n < len(p.q) && p.q[n].at <= now {
+		buf = append(buf, p.q[n].v)
+		n++
+	}
+	if n > 0 {
+		p.q = p.q[:copy(p.q, p.q[n:])]
+	}
+	return buf
+}
+
 // ForEach visits every in-flight item in FIFO order without removing it
 // (used by invariant checks).
 func (p *Pipe[T]) ForEach(fn func(T)) {

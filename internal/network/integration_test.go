@@ -235,7 +235,9 @@ func TestPunchKeepsPathAwakeForStream(t *testing.T) {
 	if blockedTotal > 2 {
 		t.Errorf("steady stream still hit %d gated routers; punch filter ineffective", blockedTotal)
 	}
-	// A router far from the stream must be gated.
+	// A router far from the stream must be gated. Its FSM is replayed
+	// lazily while it sits outside the active set, so sync first.
+	n.SyncInspection()
 	if st := n.Routers[63].Ctrl.State(); st.String() != "gated" {
 		t.Errorf("far-away router 63 is %v, want gated", st)
 	}

@@ -42,9 +42,26 @@ type Network struct {
 	now    int64
 	pktSeq uint64
 
+	// sched is the active-set tick scheduler (see sched.go); nil under
+	// Cfg.FullTick, where Step walks every node — the seed behaviour kept
+	// as the differential-testing reference.
+	sched *scheduler
+
+	// pool recycles flit objects on the hot path. It is wired only when
+	// Cfg.Checks is off: the invariant engine's stall tracking compares
+	// flit pointers across cycles, which recycling would alias. Pooling
+	// changes no simulation state either way.
+	pool *flit.Pool
+
 	// scratch buffers reused across cycles
 	wants   [][mesh.NumPorts]bool
 	wakeups []bool
+	flitBuf []router.FlitInTransit
+	credBuf []router.Credit
+
+	// nbr caches each node's neighbour in every direction (Invalid at
+	// mesh edges), replacing per-cycle coordinate arithmetic.
+	nbr [][mesh.NumPorts]mesh.NodeID
 }
 
 // New builds a network for cfg. The statistics collector measures packets
@@ -73,6 +90,15 @@ func New(cfg config.Config) (*Network, error) {
 		Fabric:  fab,
 		wants:   make([][mesh.NumPorts]bool, nNodes),
 		wakeups: make([]bool, nNodes),
+		nbr:     make([][mesh.NumPorts]mesh.NodeID, nNodes),
+	}
+	for id := mesh.NodeID(0); m.Contains(id); id++ {
+		for p := 0; p < mesh.NumPorts; p++ {
+			n.nbr[id][p] = mesh.Invalid
+		}
+		for _, d := range mesh.LinkDirections {
+			n.nbr[id][d] = m.Neighbor(id, d)
+		}
 	}
 
 	timeout := cfg.IdleTimeout
@@ -96,6 +122,23 @@ func New(cfg config.Config) (*Network, error) {
 		n.NIs = append(n.NIs, ni.New(id, m, &n.Cfg, r, fab, col))
 	}
 
+	if !cfg.FullTick {
+		n.sched = newScheduler(n)
+		for _, r := range n.Routers {
+			r.SetForwardHook(n.sched.activateNode)
+		}
+		for i, nif := range n.NIs {
+			id := int32(i)
+			nif.SetActivityHook(func() { n.sched.activate(id, false) })
+		}
+	}
+	if !cfg.Checks {
+		n.pool = flit.NewPool()
+		for _, nif := range n.NIs {
+			nif.SetPool(n.pool)
+		}
+	}
+
 	// Deliberate defects for exercising the invariant engine (and for
 	// replaying artifacts captured from faulty runs).
 	if cfg.Faults.IgnoreWakeups {
@@ -105,6 +148,9 @@ func New(cfg config.Config) (*Network, error) {
 	}
 	if cfg.Faults.DropPunchRelays && fab != nil {
 		fab.SetFaultDropRelays(true)
+	}
+	if cfg.Faults.DropRearms && n.sched != nil {
+		n.sched.dropRearms = true
 	}
 
 	if cfg.Checks {
@@ -164,15 +210,35 @@ func (n *Network) NewPacket(src, dst mesh.NodeID, vn flit.VirtualNetwork, kind f
 }
 
 // SetAccounting enables or disables energy accounting (typically enabled
-// for exactly the measurement window).
-func (n *Network) SetAccounting(v bool) { n.Acct.SetEnabled(v) }
+// for exactly the measurement window). Parked nodes are synced through
+// the previous cycle first so their deferred static charges land under
+// the flag that was in force when the cycles elapsed.
+func (n *Network) SetAccounting(v bool) {
+	if n.sched != nil {
+		n.sched.syncAll(n.now - 1)
+	}
+	n.Acct.SetEnabled(v)
+}
 
-// Step advances the network one cycle.
+// Step advances the network one cycle: the full walk under Cfg.FullTick,
+// the active-set path otherwise. The two are bit-identical.
 func (n *Network) Step() {
+	if n.sched == nil {
+		n.stepFull()
+	} else {
+		n.stepActive()
+	}
+}
+
+// stepFull is the seed tick: every node walks every phase every cycle.
+// Kept as the differential-testing reference for the active-set path.
+func (n *Network) stepFull() {
 	now := n.now
 
 	// 1. Deliver everything arriving this cycle (latched from earlier).
-	n.deliver(now)
+	for _, r := range n.Routers {
+		n.deliverNode(r, now)
+	}
 
 	// 2. NI signalling: move announced messages along, emit injection-
 	//    node punches (PowerPunch-PG slacks 1 and 2).
@@ -184,22 +250,14 @@ func (n *Network) Step() {
 	//    merges, holds, and relays (one link per cycle).
 	if n.Fabric != nil {
 		for _, r := range n.Routers {
-			cur := r.ID
-			r.ResidentHeads(func(p *flit.Packet) {
-				n.Fabric.EmitSource(cur, p.Dst)
-			})
+			r.EmitPunches(n.Fabric)
 		}
 		n.Fabric.Step()
 	}
 
 	// 4. Mask outputs whose downstream router asserts PG.
 	for _, r := range n.Routers {
-		for _, d := range mesh.LinkDirections {
-			op := r.Out(d)
-			if nb := op.Neighbor(); nb != mesh.Invalid {
-				op.Blocked = n.Routers[nb].Ctrl.PGAsserted()
-			}
-		}
+		n.maskBlocked(r)
 	}
 
 	// 5. Router pipelines (ST then VA inside each router).
@@ -231,6 +289,114 @@ func (n *Network) Step() {
 	n.now = now + 1
 }
 
+// stepActive is the active-set tick: the same nine phases, iterated over
+// only the nodes that can change state this cycle. Newly-armed nodes
+// join at the flush points below, always before the first phase whose
+// full-walk behaviour for them would differ from a no-op; every phase
+// iterates the set in ascending node order, so the operation sequence —
+// including floating-point accumulation order — matches the full walk
+// with its no-op nodes deleted.
+func (n *Network) stepActive() {
+	now := n.now
+	s := n.sched
+
+	// Arm nodes the driver submitted work to since the last cycle.
+	s.flush(now)
+
+	// 1. Deliver. Parked nodes own no non-empty pipes (quiescence drains
+	//    them first), so skipping them delivers everything.
+	for i := s.next(0); i != -1; i = s.next(i + 1) {
+		n.deliverNode(n.Routers[i], now)
+	}
+	// Ejection Deliver callbacks may have submitted follow-up work.
+	s.flush(now)
+
+	// 2. NI signalling (a parked NI holds no work: nothing to signal).
+	for i := s.next(0); i != -1; i = s.next(i + 1) {
+		n.NIs[i].StepSignals(now)
+	}
+
+	// 3. Punch fabric. Parked routers are empty and emit nothing; the
+	//    fabric itself is skipped once no emission, inbound target, or
+	//    hold remains. Nodes held by a punch must observe it in phase 7,
+	//    so they join the set now.
+	if n.Fabric != nil {
+		for i := s.next(0); i != -1; i = s.next(i + 1) {
+			n.Routers[i].EmitPunches(n.Fabric)
+		}
+		if n.Fabric.NeedsStep() {
+			n.Fabric.Step()
+			for _, id := range n.Fabric.Held() {
+				s.activate(int32(id), true)
+			}
+			s.flush(now)
+		}
+	}
+
+	// 4. Mask outputs whose downstream router asserts PG. A parked
+	//    node's stale masks are unobservable: it is empty, so its switch
+	//    allocator runs no grants until after it re-arms — and then this
+	//    phase has refreshed the masks first.
+	for i := s.next(0); i != -1; i = s.next(i + 1) {
+		n.maskBlocked(n.Routers[i])
+	}
+
+	// 5. Router pipelines (empty parked routers would no-op).
+	for i := s.next(0); i != -1; i = s.next(i + 1) {
+		n.Routers[i].Step(now)
+	}
+
+	// 6. NI injection. Receivers of freshly-pushed flits were armed by
+	//    the forward hook; flush so they live through phases 7-8 of this
+	//    cycle exactly as the full walk would step them.
+	for i := s.next(0); i != -1; i = s.next(i + 1) {
+		n.NIs[i].StepInject(now)
+	}
+	s.flush(now)
+
+	// 7. Power-gating controllers (arms WU-wanted neighbours itself).
+	n.stepControllersActive(now)
+
+	// 8. Power accounting for live nodes; parked nodes accrue the same
+	//    charges in batched catch-up when they re-arm (or eagerly below
+	//    while the invariant engine is comparing counters).
+	for i := s.next(0); i != -1; i = s.next(i + 1) {
+		n.Acct.TickStatic(int(i), routerPowerState(n.Routers[i].Ctrl))
+	}
+	n.Acct.TickCycle()
+
+	// 9. Invariant engine: it reads every node's counters each cycle, so
+	//    parked nodes must be charged eagerly while it runs.
+	if n.Checker != nil {
+		s.syncAll(now)
+		if v := n.Checker.EndCycle(now); v != nil {
+			n.reportViolation(v)
+		}
+	}
+
+	s.endCycle(now)
+	n.now = now + 1
+}
+
+// maskBlocked refreshes r's output masks from its neighbours' PG levels.
+// Under the active-set scheduler a neighbour may be retired with its
+// controller mid-evolution (idle-counting toward a gate, or waking), so
+// its FSM is caught up through the previous cycle first — the state the
+// full walk's mask phase would read. The catch-up is a no-op for live
+// neighbours and does not re-arm the dormant ones.
+func (n *Network) maskBlocked(r *router.Router) {
+	s := n.sched
+	for _, d := range mesh.LinkDirections {
+		op := r.Out(d)
+		if nb := op.Neighbor(); nb != mesh.Invalid {
+			if s != nil {
+				s.catchUp(int32(nb), n.now-1)
+			}
+			op.Blocked = n.Routers[nb].Ctrl.PGAsserted()
+		}
+	}
+}
+
 // reportViolation handles the invariant engine's first violation: hand
 // the artifact to OnViolation when set, otherwise persist it next to the
 // temp directory and panic with the replay instructions.
@@ -248,49 +414,60 @@ func (n *Network) reportViolation(v *check.Violation) {
 	panic(fmt.Sprintf("network: %v; %s", v, where))
 }
 
-// deliver drains all link pipes whose contents arrive at cycle `now`.
-func (n *Network) deliver(now int64) {
-	for _, r := range n.Routers {
-		rr := r
-		for p := 0; p < mesh.NumPorts; p++ {
-			d := mesh.Direction(p)
-			op := rr.Out(d)
-			if d == mesh.Local {
-				nif := n.NIs[rr.ID]
-				op.FlitOut.Drain(now, func(ft router.FlitInTransit) {
-					nif.ReceiveEject(ft, now)
-				})
-				continue
-			}
-			nb := op.Neighbor()
-			if nb == mesh.Invalid {
-				continue
-			}
-			dst := n.Routers[nb]
-			from := d.Opposite()
-			op.FlitOut.Drain(now, func(ft router.FlitInTransit) {
-				dst.ReceiveFlit(from, ft.VC, ft.Flit, now)
-			})
+// deliverNode drains node rr's link pipes whose contents arrive at cycle
+// `now`: its output flit pipes into the downstream routers (or its NI on
+// the Local port) and its input credit pipes back to the upstream
+// routers (or its NI). Closure-free: items are drained into reused
+// scratch buffers, keeping the per-cycle path allocation-free.
+func (n *Network) deliverNode(rr *router.Router, now int64) {
+	for p := 0; p < mesh.NumPorts; p++ {
+		d := mesh.Direction(p)
+		op := rr.Out(d)
+		if op.FlitOut.Empty() {
+			continue
 		}
-		for p := 0; p < mesh.NumPorts; p++ {
-			d := mesh.Direction(p)
-			ip := rr.In(d)
-			if d == mesh.Local {
-				nif := n.NIs[rr.ID]
-				ip.CreditOut.Drain(now, func(c router.Credit) {
-					nif.ReceiveCredit(c.VC)
-				})
-				continue
+		if d == mesh.Local {
+			nif := n.NIs[rr.ID]
+			n.flitBuf = op.FlitOut.DrainAppend(now, n.flitBuf[:0])
+			for _, ft := range n.flitBuf {
+				nif.ReceiveEject(ft, now)
 			}
-			nb := n.M.Neighbor(rr.ID, d)
-			if nb == mesh.Invalid {
-				continue
+			continue
+		}
+		nb := op.Neighbor()
+		if nb == mesh.Invalid {
+			continue
+		}
+		dst := n.Routers[nb]
+		from := d.Opposite()
+		n.flitBuf = op.FlitOut.DrainAppend(now, n.flitBuf[:0])
+		for _, ft := range n.flitBuf {
+			dst.ReceiveFlit(from, ft.VC, ft.Flit, now)
+		}
+	}
+	for p := 0; p < mesh.NumPorts; p++ {
+		d := mesh.Direction(p)
+		ip := rr.In(d)
+		if ip.CreditOut.Empty() {
+			continue
+		}
+		if d == mesh.Local {
+			nif := n.NIs[rr.ID]
+			n.credBuf = ip.CreditOut.DrainAppend(now, n.credBuf[:0])
+			for _, c := range n.credBuf {
+				nif.ReceiveCredit(c.VC)
 			}
-			up := n.Routers[nb]
-			toward := d.Opposite()
-			ip.CreditOut.Drain(now, func(c router.Credit) {
-				up.ReceiveCredit(toward, c.VC)
-			})
+			continue
+		}
+		nb := n.nbr[rr.ID][d]
+		if nb == mesh.Invalid {
+			continue
+		}
+		up := n.Routers[nb]
+		toward := d.Opposite()
+		n.credBuf = ip.CreditOut.DrainAppend(now, n.credBuf[:0])
+		for _, c := range n.credBuf {
+			up.ReceiveCredit(toward, c.VC)
 		}
 	}
 }
@@ -343,12 +520,78 @@ func (n *Network) stepControllers(now int64) {
 	}
 }
 
+// stepControllersActive is stepControllers over the active set only. A
+// parked node's contribution to the full walk is provably nil: it is
+// empty (no WU wants, cleared on deactivation), its NI idle (no local
+// WU), and its controller parked (Step is a no-op for disabled, and the
+// Gated idle tick is applied by catch-up). The one coupling — an active
+// neighbour's WU want toward a parked gated router — arms that router
+// here, before the wakeup levels are read, so it wakes in the same cycle
+// the full walk would wake it.
+func (n *Network) stepControllersActive(now int64) {
+	if !n.Cfg.Scheme.UsesPowerGating() {
+		return
+	}
+	s := n.sched
+	early := n.Cfg.Scheme.UsesEarlyWakeup()
+	for i := s.next(0); i != -1; i = s.next(i + 1) {
+		r := n.Routers[i]
+		if early {
+			r.WantsOutput(&n.wants[i])
+		} else {
+			r.WantsOutputAtSA(&n.wants[i], now)
+		}
+		// Arm every wanted neighbour: it must observe the WU level this
+		// cycle. (Arming is deferred to the flush below, so this pass
+		// still iterates the pre-arm set.)
+		if r.Empty() {
+			continue
+		}
+		for _, d := range mesh.LinkDirections {
+			if n.wants[i][d] {
+				if nb := n.nbr[i][d]; nb != mesh.Invalid {
+					s.activate(int32(nb), true)
+				}
+			}
+		}
+	}
+	s.flush(now)
+	for i := s.next(0); i != -1; i = s.next(i + 1) {
+		wu := n.NIs[i].WantsWakeup()
+		if !wu {
+			for _, d := range mesh.LinkDirections {
+				nb := n.nbr[i][d]
+				if nb == mesh.Invalid {
+					continue
+				}
+				if n.wants[nb][d.Opposite()] {
+					wu = true
+					break
+				}
+			}
+		}
+		n.wakeups[i] = wu
+	}
+	for i := s.next(0); i != -1; i = s.next(i + 1) {
+		r := n.Routers[i]
+		empty := r.Empty() && n.incomingQuiet(r)
+		hold := false
+		if n.Fabric != nil {
+			hold = n.Fabric.Hold(r.ID)
+		}
+		if n.wakeups[i] && n.Acct.Enabled() {
+			n.Acct.WakeupSignal(int(i))
+		}
+		r.Ctrl.Step(pg.Inputs{Empty: empty, Wakeup: n.wakeups[i], PunchHold: hold})
+	}
+}
+
 // incomingQuiet reports that no flit is in flight toward router r (its
 // neighbors' output pipes facing r are empty). Together with the >= 2
 // cycle idle timeout this guarantees gating never strands a flit.
 func (n *Network) incomingQuiet(r *router.Router) bool {
 	for _, d := range mesh.LinkDirections {
-		nb := n.M.Neighbor(r.ID, d)
+		nb := n.nbr[r.ID][d]
 		if nb == mesh.Invalid {
 			continue
 		}
@@ -391,8 +634,20 @@ func (n *Network) Quiesced() bool {
 	return true
 }
 
+// SyncInspection catches every retired node's controller and power
+// counters up through the previous cycle, so direct reads of router or
+// controller state (heatmaps, tests, ad-hoc probes) observe exactly
+// what the full walk would hold. A no-op under Cfg.FullTick; it never
+// re-arms a node.
+func (n *Network) SyncInspection() {
+	if n.sched != nil {
+		n.sched.syncAll(n.now - 1)
+	}
+}
+
 // GatedRouterCount returns the number of routers currently gated off.
 func (n *Network) GatedRouterCount() int {
+	n.SyncInspection()
 	c := 0
 	for _, r := range n.Routers {
 		if r.Ctrl.State() == pg.Gated {
@@ -411,6 +666,7 @@ func (n *Network) GatedRouterCount() int {
 //     available credits + downstream buffer occupancy + flits on the
 //     wire + credits on the reverse wire == buffer depth.
 func (n *Network) CheckInvariants() {
+	n.SyncInspection()
 	for _, r := range n.Routers {
 		if !r.Ctrl.IsOn() && !r.Empty() {
 			panic(fmt.Sprintf("network: router %d is %v with %d buffered flits",
@@ -518,6 +774,9 @@ func (n *Network) RunUntil(d Driver, maxCycles int64) RunResult {
 }
 
 func (n *Network) result(drained bool) RunResult {
+	if n.sched != nil {
+		n.sched.syncAll(n.now - 1)
+	}
 	var gatings int64
 	for _, r := range n.Routers {
 		gatings += r.Ctrl.Stats().GatingEvents

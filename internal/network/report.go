@@ -27,8 +27,12 @@ type UtilizationReport struct {
 	Routers []RouterReport
 }
 
-// Report snapshots per-router statistics.
+// Report snapshots per-router statistics. Parked nodes are synced first
+// so their deferred gated-cycle counts are exact.
 func (n *Network) Report() *UtilizationReport {
+	if n.sched != nil {
+		n.sched.syncAll(n.now - 1)
+	}
 	rep := &UtilizationReport{Cycles: n.now}
 	for _, r := range n.Routers {
 		cs := r.Ctrl.Stats()

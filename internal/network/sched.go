@@ -1,0 +1,291 @@
+package network
+
+import (
+	"math/bits"
+
+	"powerpunch/internal/mesh"
+	"powerpunch/internal/pg"
+)
+
+// scheduler is the active-set tick scheduler: the network's answer to the
+// paper's own observation that most routers are idle most of the time.
+// Instead of walking all N nodes every cycle, Step iterates only the
+// nodes that can change state this cycle — a node is a router together
+// with its NI. A node leaves the set when it is provably quiescent
+// (nothing buffered, nothing in flight in or out, NI idle, controller
+// parked) and re-enters when a wakeup source touches it: a local
+// injection, a flit pushed toward it, a punch hold naming it, or a
+// neighbour's WU level wanting it awake.
+//
+// The set is a bitset over node IDs: iteration walks set bits in
+// ascending order (the full-walk iteration order) with no sorting, and
+// arming or retiring a node is a single bit operation. Mid-cycle
+// activations go through a pending list first and join the set only at
+// the explicit flush points in stepActive, so a phase never observes a
+// node armed while that phase was already iterating.
+//
+// Quiescence does not require the PG controller to have finished its
+// own idle journey: with an empty datapath and no wakeup or punch level
+// — and every source of those levels re-arms the node before the level
+// is readable — the gating FSM's inputs are pinned to (Empty, no WU, no
+// punch), under which Active counts idle, Draining counts down, Waking
+// counts Twakeup, and Gated is a fixed point. That evolution is
+// deterministic, so the scheduler retires the node immediately and
+// replays the controller cycle by cycle in catch-up when something next
+// observes or re-arms it. This is what makes the set small at low load:
+// a router leaves the set the first cycle it goes quiet, not Twakeup +
+// timeout cycles later.
+//
+// Skipped nodes are therefore never unaccounted: catch-up replays the
+// identical per-cycle operations — controller Step with idle inputs,
+// then the static-power tick, including per-cycle floating-point adds —
+// so active-set runs are bit-identical to Config.FullTick full-walk
+// runs; the golden-metrics tests assert it. Once the replayed FSM
+// parks (disabled or Gated, both fixed points), the remaining cycles
+// collapse into the batched AdvanceIdleGated fast path.
+type scheduler struct {
+	n *Network
+
+	inSet   []bool   // per node: in the set or pending (activation guard)
+	active  []uint64 // bitset over node IDs: the current active set
+	pending []int32  // armed since the last flush, not yet in active
+
+	// syncedTo[i] is the last cycle whose parked-node charges (gated
+	// controller tick, static power tick) have been applied to node i.
+	// Live-stepped nodes are charged in the cycle loop itself and marked
+	// synced at end of cycle.
+	syncedTo []int64
+
+	// nodeSteps[i] counts the cycles node i spent in the active set
+	// (instrumentation for the edge-case tests).
+	nodeSteps []int64
+
+	// dropRearms implements config.Faults.DropRearms: droppable re-arm
+	// events (pushes, punch holds, WU wants) are discarded, proving the
+	// invariant engine catches a lost-wakeup scheduler bug. Local
+	// injections are never droppable — work must enter for the bug to be
+	// observable.
+	dropRearms    bool
+	droppedRearms int64
+}
+
+func newScheduler(n *Network) *scheduler {
+	nNodes := n.M.NumNodes()
+	s := &scheduler{
+		n:         n,
+		inSet:     make([]bool, nNodes),
+		active:    make([]uint64, (nNodes+63)/64),
+		pending:   make([]int32, 0, nNodes),
+		syncedTo:  make([]int64, nNodes),
+		nodeSteps: make([]int64, nNodes),
+	}
+	// Every node starts active: PG controllers begin in Active and must
+	// step to count idle cycles toward the gating decision; quiescent
+	// nodes fall out of the set on their own.
+	for i := 0; i < nNodes; i++ {
+		s.inSet[i] = true
+		s.active[i>>6] |= 1 << (i & 63)
+		s.syncedTo[i] = -1
+	}
+	return s
+}
+
+// next returns the smallest active node ID >= from, or -1. Ascending
+// bit order is the full-walk iteration order; every phase loops
+// `for i := s.next(0); i != -1; i = s.next(i + 1)`.
+func (s *scheduler) next(from int32) int32 {
+	w := int(from) >> 6
+	if w >= len(s.active) {
+		return -1
+	}
+	word := s.active[w] &^ (1<<(from&63) - 1)
+	for {
+		if word != 0 {
+			return int32(w<<6 + bits.TrailingZeros64(word))
+		}
+		w++
+		if w >= len(s.active) {
+			return -1
+		}
+		word = s.active[w]
+	}
+}
+
+// activate arms node i. droppable marks re-arm events the DropRearms
+// fault may discard; injections of new work pass false.
+func (s *scheduler) activate(i int32, droppable bool) {
+	if s.inSet[i] {
+		return
+	}
+	if droppable && s.dropRearms {
+		s.droppedRearms++
+		return
+	}
+	s.inSet[i] = true
+	s.pending = append(s.pending, i)
+}
+
+// activateNode is the router forward-hook shape of activate.
+func (s *scheduler) activateNode(id mesh.NodeID) { s.activate(int32(id), true) }
+
+// flush moves pending activations into the active set, first catching
+// each node's parked charges up through the previous cycle (the current
+// cycle is charged live by the phases the node now participates in).
+func (s *scheduler) flush(now int64) {
+	if len(s.pending) == 0 {
+		return
+	}
+	for _, i := range s.pending {
+		s.catchUp(i, now-1)
+		s.active[i>>6] |= 1 << (i & 63)
+	}
+	s.pending = s.pending[:0]
+}
+
+// catchUp applies node i's skipped per-cycle charges for every cycle in
+// (syncedTo, through]: the controller's idle-input Step and the power
+// accountant's static tick, in the live phase order (controller first,
+// then static power at the post-step state) — exactly what the full
+// walk would have done. The replay runs cycle by cycle only while the
+// FSM is still evolving (Active/Draining counting idle, Waking counting
+// down, a throttled controller draining its back-off window); once it
+// parks — disabled or Gated, both fixed points — the rest of the window
+// collapses into one batched AdvanceIdleGated + TickStaticN call whose
+// result is bit-identical to the per-cycle loop. Safe only while the
+// node is quiescent: its idle inputs are guaranteed because every
+// wakeup source (flit push, punch hold, WU want, injection) re-arms the
+// node before the level becomes readable.
+func (s *scheduler) catchUp(i int32, through int64) {
+	if through <= s.syncedTo[i] {
+		return
+	}
+	d := through - s.syncedTo[i]
+	c := s.n.Routers[i].Ctrl
+	for d > 0 && !c.Parked() {
+		c.Step(pg.Inputs{Empty: true})
+		s.n.Acct.TickStatic(int(i), routerPowerState(c))
+		d--
+	}
+	if d > 0 {
+		c.AdvanceIdleGated(d)
+		s.n.Acct.TickStaticN(int(i), routerPowerState(c), d)
+	}
+	s.syncedTo[i] = through
+}
+
+// syncAll catches every parked node up through the given cycle. Called
+// before anything reads controller or accountant counters (the invariant
+// engine every cycle, SetAccounting at window boundaries, reports), and
+// with the old accounting flag still in force at boundaries.
+func (s *scheduler) syncAll(through int64) {
+	for _, i := range s.pending {
+		s.catchUp(i, through)
+	}
+	for i := range s.inSet {
+		if !s.inSet[i] {
+			s.catchUp(int32(i), through)
+		}
+	}
+}
+
+// quiescent reports whether node i can leave the active set: no flit
+// buffered, NI holding no work, nothing in flight in its outgoing flit
+// and credit pipes, and no flit in flight toward it. The PG controller's
+// state is deliberately NOT consulted: an idle-counting, draining,
+// waking, or gated FSM all evolve deterministically under the idle
+// inputs a quiescent datapath pins (catchUp replays them), and every
+// event that would change those inputs — flit push, punch hold, WU
+// want, local injection — re-arms the node before the controller could
+// observe it. A quiescent node's skipped cycles are therefore exact
+// replays of what the full walk would have computed.
+// Nodes pinned by a level signal — a punch hold or a neighbour's WU
+// want — are kept in the set even when structurally idle: the level's
+// source would re-arm them next cycle anyway, so retiring them would
+// only churn the pending list, and their controllers' inputs are not
+// the idle ones catch-up replays.
+func (s *scheduler) quiescent(i int32) bool {
+	n := s.n
+	r := n.Routers[i]
+	if !r.Empty() || n.NIs[i].Busy() {
+		return false
+	}
+	if n.Fabric != nil && n.Fabric.Hold(mesh.NodeID(i)) {
+		return false
+	}
+	for _, d := range mesh.LinkDirections {
+		if nb := n.nbr[i][d]; nb != mesh.Invalid && n.wants[nb][d.Opposite()] {
+			return false
+		}
+	}
+	for p := 0; p < mesh.NumPorts; p++ {
+		d := mesh.Direction(p)
+		if !r.Out(d).FlitOut.Empty() || !r.In(d).CreditOut.Empty() {
+			return false
+		}
+	}
+	return n.incomingQuiet(r)
+}
+
+// endCycle retires quiescent nodes from the active set and marks the
+// cycle's charges applied for the nodes that stayed live. Retired nodes
+// clear their WU wants (a parked node is empty, so the full walk would
+// compute all-false wants for it).
+func (s *scheduler) endCycle(now int64) {
+	for i := s.next(0); i != -1; i = s.next(i + 1) {
+		s.nodeSteps[i]++
+		s.syncedTo[i] = now
+		if s.quiescent(i) {
+			s.inSet[i] = false
+			s.active[i>>6] &^= 1 << (i & 63)
+			s.n.wants[i] = [mesh.NumPorts]bool{}
+		}
+	}
+}
+
+// empty reports whether the active set and the pending list hold nothing.
+func (s *scheduler) empty() bool {
+	if len(s.pending) > 0 {
+		return false
+	}
+	for _, w := range s.active {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NodeSteps returns the number of cycles node id spent in the active set
+// (under FullTick every node steps every cycle, so Now() is returned).
+func (n *Network) NodeSteps(id mesh.NodeID) int64 {
+	if n.sched == nil {
+		return n.now
+	}
+	return n.sched.nodeSteps[id]
+}
+
+// ActiveNodes returns a snapshot of the active set (armed-but-pending
+// nodes included) in ascending order; nil under FullTick, where the
+// concept does not apply.
+func (n *Network) ActiveNodes() []mesh.NodeID {
+	if n.sched == nil {
+		return nil
+	}
+	s := n.sched
+	out := make([]mesh.NodeID, 0, 16)
+	for i := range s.inSet {
+		if s.inSet[i] {
+			out = append(out, mesh.NodeID(i))
+		}
+	}
+	return out
+}
+
+// DroppedRearms returns the number of re-arm events discarded by the
+// DropRearms fault.
+func (n *Network) DroppedRearms() int64 {
+	if n.sched == nil {
+		return 0
+	}
+	return n.sched.droppedRearms
+}

@@ -61,6 +61,17 @@ type NI struct {
 	vcBusy  []bool
 	vnRR    int
 
+	// activityHook, when set, is called whenever new work enters the NI
+	// from outside the cycle loop (SubmitDelayed / Generate); the
+	// active-set scheduler uses it to arm this node.
+	activityHook func()
+
+	// pool, when set, recycles flit objects and slices (the allocation-
+	// free hot path); nil falls back to plain allocation. openFree
+	// recycles openInjection records alongside it.
+	pool     *flit.Pool
+	openFree []*openInjection
+
 	asm [][]*flit.Flit // ejection reassembly per local-output VC
 
 	// Stats.
@@ -111,6 +122,9 @@ func (n *NI) SubmitDelayed(p *flit.Packet, hintValid bool, delay int, now int64)
 	p.ResourceHint = now
 	n.future = append(n.future, futureMessage{p: p, genAt: now + int64(delay), hintValid: hintValid})
 	n.Submitted++
+	if n.activityHook != nil {
+		n.activityHook()
+	}
 	if n.OnSubmit != nil {
 		n.OnSubmit(p, hintValid, delay, now)
 	}
@@ -124,7 +138,20 @@ func (n *NI) Generate(p *flit.Packet, now int64) {
 	p.CreatedAt = now
 	p.NIEnterAt = now
 	n.pipe = append(n.pipe, p)
+	if n.activityHook != nil {
+		n.activityHook()
+	}
 }
+
+// SetActivityHook registers the active-set scheduler's arming callback;
+// it fires on every SubmitDelayed/Generate so externally-submitted work
+// can never be missed (injections are never droppable re-arm events).
+func (n *NI) SetActivityHook(fn func()) { n.activityHook = fn }
+
+// SetPool installs a flit pool for the allocation-free injection path.
+// Must only be used when no other component retains flit pointers past
+// ejection (the invariant engine does, so checked runs leave it unset).
+func (n *NI) SetPool(p *flit.Pool) { n.pool = p }
 
 // Announce asserts the slack-2 hold for the current cycle: a resource
 // access in flight guarantees a packet will be injected here. Only
@@ -259,7 +286,7 @@ func (n *NI) StepInject(now int64) {
 		if !ok {
 			continue
 		}
-		o := &openInjection{p: p, flits: flit.NewFlits(p), vcIdx: vcIdx}
+		o := n.newOpen(p, vcIdx)
 		n.vcBusy[vcIdx] = true
 		if !n.pushFlit(o, now) {
 			// Credit race cannot happen (chooseVC checked); back out.
@@ -269,7 +296,8 @@ func (n *NI) StepInject(now int64) {
 		p.InjectedAt = now
 		n.col.PacketInjected(p)
 		n.Injected++
-		n.readyQ[vn] = n.readyQ[vn][1:]
+		q := n.readyQ[vn]
+		n.readyQ[vn] = q[:copy(q, q[1:])] // capacity-preserving pop
 		n.open[vn] = o
 		if o.next >= len(o.flits) { // single-flit packet completed
 			n.finishOpen(vn)
@@ -301,10 +329,30 @@ func (n *NI) pushFlit(o *openInjection, now int64) bool {
 	return true
 }
 
+// newOpen builds an injection record, reusing a recycled one when the
+// pool is active.
+func (n *NI) newOpen(p *flit.Packet, vcIdx int) *openInjection {
+	if k := len(n.openFree); k > 0 {
+		o := n.openFree[k-1]
+		n.openFree[k-1] = nil
+		n.openFree = n.openFree[:k-1]
+		o.p, o.flits, o.next, o.vcIdx = p, n.pool.Flits(p), 0, vcIdx
+		return o
+	}
+	return &openInjection{p: p, flits: n.pool.Flits(p), vcIdx: vcIdx}
+}
+
 func (n *NI) finishOpen(vn int) {
 	if o := n.open[vn]; o != nil && o.next >= len(o.flits) {
 		n.vcBusy[o.vcIdx] = false
 		n.open[vn] = nil
+		if n.pool != nil {
+			// The flits are still in flight downstream; only the slice
+			// header and the injection record are recycled here.
+			n.pool.PutSlice(o.flits)
+			o.p, o.flits = nil, nil
+			n.openFree = append(n.openFree, o)
+		}
 	}
 }
 
@@ -344,6 +392,14 @@ func (n *NI) ReceiveEject(ft router.FlitInTransit, now int64) {
 	}
 	p := ft.Flit.Packet
 	p.EjectedAt = now
+	if n.pool != nil {
+		// The packet has fully ejected: its flits can never be observed
+		// again, so return them to the pool (the Packet itself lives on —
+		// stats and the coherence substrate keep it).
+		for _, f := range n.asm[ft.VC] {
+			n.pool.PutFlit(f)
+		}
+	}
 	n.asm[ft.VC] = n.asm[ft.VC][:0]
 	n.Ejected++
 	n.col.PacketEjected(p, n.m.HopDistance(p.Src, p.Dst))

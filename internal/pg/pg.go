@@ -259,6 +259,39 @@ func (c *Controller) beginWake() {
 	}
 }
 
+// Parked reports whether the controller has reached a fixed point under
+// idle inputs: it is disabled (No-PG, Step is a no-op) or Gated (each
+// idle Step only bumps the gated counters, which AdvanceIdleGated
+// batches). The active-set scheduler's catch-up replays an unparked
+// controller cycle by cycle — Active/Draining advancing the idle
+// counter, Waking counting down Twakeup — and switches to the batched
+// fast path the moment Parked becomes true.
+func (c *Controller) Parked() bool { return !c.enabled || c.state == Gated }
+
+// AdvanceIdleGated applies n cycles of Step with a parked controller's
+// only possible inputs (empty datapath, no wakeup, no punch hold) in one
+// call. For a Gated controller each such Step increments the gated-cycle
+// counters and drains the adaptive-throttle window; for a disabled
+// controller Step is a no-op. The active-set scheduler uses it to catch
+// a skipped controller up when its router re-arms; the result is
+// bit-identical to n individual Step calls.
+func (c *Controller) AdvanceIdleGated(n int64) {
+	if !c.enabled || n <= 0 {
+		return
+	}
+	if c.state != Gated {
+		panic(fmt.Sprintf("pg: AdvanceIdleGated in state %v", c.state))
+	}
+	if c.throttleLeft > 0 {
+		c.throttleLeft -= n
+		if c.throttleLeft < 0 {
+			c.throttleLeft = 0
+		}
+	}
+	c.stats.GatedCycles += n
+	c.gatedFor += n
+}
+
 // SetFaultIgnoreWakeups installs a deliberate defect: a gated controller
 // ignores WU and punch-hold levels and never wakes. It exists solely so
 // the invariant engine's power-gating safety checks can be demonstrated

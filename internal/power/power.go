@@ -161,6 +161,33 @@ func (a *Accountant) TickStatic(r int, s RouterState) {
 	}
 }
 
+// TickStaticN charges n cycles of leakage for router r in state s, as if
+// TickStatic had been called n times. The active-set scheduler uses it to
+// catch a skipped (parked) router up; the per-router Static accumulator
+// is advanced by n individual float additions so the result stays
+// bit-identical to the per-cycle full-walk path.
+func (a *Accountant) TickStaticN(r int, s RouterState, n int64) {
+	if !a.enabled || n <= 0 {
+		return
+	}
+	switch s {
+	case Gated:
+		a.GatedCycles += n
+		if a.C.GatedLeakFrac > 0 {
+			e := a.C.GatedLeakFrac * a.C.EStaticCycle()
+			for i := int64(0); i < n; i++ {
+				a.perRouter[r].Static += e
+			}
+		}
+	default:
+		a.OnCycles += n
+		e := a.C.EStaticCycle()
+		for i := int64(0); i < n; i++ {
+			a.perRouter[r].Static += e
+		}
+	}
+}
+
 // TickCycle advances the accountant's notion of elapsed measured time by
 // one cycle. Call once per network cycle.
 func (a *Accountant) TickCycle() {

@@ -9,6 +9,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"powerpunch/internal/config"
 	"powerpunch/internal/flit"
@@ -114,6 +115,19 @@ type Router struct {
 	swRR     [mesh.NumPorts]int
 	trouter  int64
 
+	// occ is a bitset over global VC keys (vcKey) with a bit set exactly
+	// while that input VC buffers at least one flit. The per-cycle router
+	// stages iterate set bits instead of probing every (port, VC)
+	// combination, so stage cost scales with resident packets, not with
+	// the 5 x numVCs buffer geometry.
+	occ []uint64
+
+	// forwardHook, when set, is called with the downstream router's ID
+	// whenever a flit is pushed onto a non-Local output link. The
+	// active-set scheduler uses it to arm the receiver before the flit
+	// arrives.
+	forwardHook func(mesh.NodeID)
+
 	// Stats.
 	FlitsForwarded int64
 	PGStallCycles  int64
@@ -134,6 +148,7 @@ func New(id mesh.NodeID, m *mesh.Mesh, cfg *config.Config, ctrl *pg.Controller, 
 		numVCs:  numVCs,
 		trouter: int64(cfg.RouterCycles()),
 	}
+	r.occ = make([]uint64, (mesh.NumPorts*numVCs+63)/64)
 	for p := 0; p < mesh.NumPorts; p++ {
 		dir := mesh.Direction(p)
 		ip := &InputPort{
@@ -194,6 +209,7 @@ func (r *Router) ReceiveFlit(d mesh.Direction, vcIdx int, f *flit.Flit, now int6
 		panic(fmt.Sprintf("router %d: VC overflow on %v vc%d (credit protocol violated)", r.ID, d, vcIdx))
 	}
 	v.push(f, now)
+	r.setOcc(r.vcKey(int(d), vcIdx))
 	r.buffered++
 	if r.acct != nil {
 		r.acct.BufferWrite(int(r.ID))
@@ -222,12 +238,45 @@ func (r *Router) VCOccupancy(d mesh.Direction, v int) int {
 // vcKey packs (input port, vc index) into a single arbitration key.
 func (r *Router) vcKey(port, vcIdx int) int { return port*r.numVCs + vcIdx }
 
+func (r *Router) setOcc(key int)   { r.occ[key>>6] |= 1 << (key & 63) }
+func (r *Router) clearOcc(key int) { r.occ[key>>6] &^= 1 << (key & 63) }
+
+// nextOcc returns the smallest occupied VC key >= from, or -1. Keys come
+// back in ascending order, so iterating nextOcc(0), nextOcc(k+1), ...
+// visits occupied VCs in exactly the (port, vc) order the plain nested
+// loops would.
+func (r *Router) nextOcc(from int) int {
+	w := from >> 6
+	if w >= len(r.occ) {
+		return -1
+	}
+	word := r.occ[w] &^ (1<<(from&63) - 1)
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= len(r.occ) {
+			return -1
+		}
+		word = r.occ[w]
+	}
+}
+
 // Step advances the router one cycle: switch traversal first, then VC
 // allocation / route computation, so a flit moves through at most one
 // stage per cycle. A gated or waking router does nothing (its datapath
 // is unpowered — and provably empty, since gating requires emptiness).
 func (r *Router) Step(now int64) {
 	if r.buffered == 0 || !r.Ctrl.IsOn() {
+		return
+	}
+	if r.cfg.FullTick {
+		// Reference mode: the seed's simple probing walks, kept verbatim
+		// so the differential path exercises the original implementation,
+		// not the occupancy-bitset rewrite it validates.
+		r.stepSTRef(now)
+		r.stepVARef(now)
 		return
 	}
 	r.stepST(now)
@@ -239,6 +288,96 @@ func (r *Router) Step(now int64) {
 // an output masked by a gated/waking neighbor it instead accrues the
 // paper's per-packet blocking statistics (Figures 9 and 10).
 func (r *Router) stepST(now int64) {
+	total := mesh.NumPorts * r.numVCs
+	for p := 0; p < mesh.NumPorts; p++ {
+		op := r.out[p]
+		if op.Blocked {
+			// Downstream router is gated or waking: every pipeline-ready
+			// packet headed there is stalled by power gating.
+			for key := r.nextOcc(0); key != -1; key = r.nextOcc(key + 1) {
+				v := r.in[key/r.numVCs].vcs[key%r.numVCs]
+				if !v.routed || int(v.outDir) != p {
+					continue
+				}
+				if now-v.frontArrival() < r.trouter {
+					continue
+				}
+				r.PGStallCycles++
+				pkt := v.front().Packet
+				pkt.WakeupWait++
+				if !v.blockedOnce {
+					v.blockedOnce = true
+					pkt.BlockedRouters++
+				}
+			}
+			continue
+		}
+
+		// Round-robin over the occupied VCs only, starting at swRR[p] and
+		// wrapping: pass 0 covers [swRR[p], total), pass 1 [0, swRR[p]) —
+		// the same circular order the full (swRR[p]+k)%total probe walks,
+		// with its empty slots deleted.
+		start := r.swRR[p]
+	grant:
+		for pass := 0; pass < 2; pass++ {
+			lo, hi := start, total
+			if pass == 1 {
+				lo, hi = 0, start
+			}
+			for key := r.nextOcc(lo); key != -1 && key < hi; key = r.nextOcc(key + 1) {
+				v := r.in[key/r.numVCs].vcs[key%r.numVCs]
+				if !v.routed || int(v.outDir) != p || !v.vaDone {
+					continue
+				}
+				if now-v.frontArrival() < r.trouter {
+					continue // pipeline depth not yet traversed
+				}
+				if op.credits[v.outVC] <= 0 {
+					continue // no downstream buffer space
+				}
+
+				// Grant: traverse the switch and the link.
+				r.swRR[p] = (key + 1) % total
+				out := v.pop()
+				if v.empty() {
+					r.clearOcc(key)
+				}
+				r.buffered--
+				op.credits[v.outVC]--
+				op.FlitOut.Push(FlitInTransit{Flit: out, VC: v.outVC}, now)
+				r.FlitsForwarded++
+				if r.acct != nil {
+					r.acct.Traverse(int(r.ID))
+					if op.dir != mesh.Local {
+						r.acct.LinkHop(int(r.ID))
+					}
+				}
+				if r.forwardHook != nil && op.dir != mesh.Local && op.neighbor != mesh.Invalid {
+					r.forwardHook(op.neighbor)
+				}
+				// Return the freed slot upstream.
+				r.in[key/r.numVCs].CreditOut.Push(Credit{VC: key % r.numVCs}, now)
+
+				if out.Type.IsTail() {
+					// Release the downstream VC and the per-packet state.
+					op.owner[v.outVC] = -1
+					v.routed = false
+					v.vaDone = false
+					v.blockedOnce = false
+				}
+				break grant // one flit per output port per cycle
+			}
+		}
+	}
+}
+
+// stepSTRef is the reference (Config.FullTick) switch stage: the seed's
+// full probe over every (input port, VC) slot, kept structurally intact
+// so differential runs compare the production bitset scan against the
+// original implementation. The only additions are occ maintenance on pop
+// (ReceiveFlit sets the bit unconditionally) and the forward hook, which
+// is nil under FullTick.
+func (r *Router) stepSTRef(now int64) {
 	total := mesh.NumPorts * r.numVCs
 	for p := 0; p < mesh.NumPorts; p++ {
 		op := r.out[p]
@@ -283,6 +422,9 @@ func (r *Router) stepST(now int64) {
 			// Grant: traverse the switch and the link.
 			r.swRR[p] = (key + 1) % total
 			out := v.pop()
+			if v.empty() {
+				r.clearOcc(key)
+			}
 			r.buffered--
 			op.credits[v.outVC]--
 			op.FlitOut.Push(FlitInTransit{Flit: out, VC: v.outVC}, now)
@@ -292,6 +434,9 @@ func (r *Router) stepST(now int64) {
 				if op.dir != mesh.Local {
 					r.acct.LinkHop(int(r.ID))
 				}
+			}
+			if r.forwardHook != nil && op.dir != mesh.Local && op.neighbor != mesh.Invalid {
+				r.forwardHook(op.neighbor)
 			}
 			// Return the freed slot upstream.
 			r.in[ip].CreditOut.Push(Credit{VC: vi}, now)
@@ -315,6 +460,36 @@ func (r *Router) stepST(now int64) {
 // always-successful speculation at low load — allocation conflicts add
 // their own cycles naturally.
 func (r *Router) stepVA(now int64) {
+	for key := r.nextOcc(0); key != -1; key = r.nextOcc(key + 1) {
+		p, vi := key/r.numVCs, key%r.numVCs
+		v := r.in[p].vcs[vi]
+		f := v.front()
+		if !f.Type.IsHead() {
+			continue // body/tail follow the established route
+		}
+		if !v.routed {
+			// Route computation (look-ahead: available on arrival).
+			v.outDir = routing.XY(r.m, r.ID, f.Dst())
+			v.routed = true
+			v.blockedOnce = false
+		}
+		if v.vaDone {
+			continue
+		}
+		if now-v.frontArrival() < 1 {
+			continue // VA is pipeline stage 2
+		}
+		op := r.out[v.outDir]
+		if got, ov := r.allocVC(op, f, p, vi); got {
+			v.vaDone = true
+			v.outVC = ov
+		}
+	}
+}
+
+// stepVARef is the reference (Config.FullTick) VA stage: the seed's full
+// nested probe over every (port, VC) slot.
+func (r *Router) stepVARef(now int64) {
 	for p := 0; p < mesh.NumPorts; p++ {
 		for vi := 0; vi < r.numVCs; vi++ {
 			v := r.in[p].vcs[vi]
@@ -385,12 +560,21 @@ func (r *Router) WantsOutput(want *[mesh.NumPorts]bool) {
 	if r.buffered == 0 {
 		return
 	}
-	for p := 0; p < mesh.NumPorts; p++ {
-		for vi := 0; vi < r.numVCs; vi++ {
-			v := r.in[p].vcs[vi]
-			if !v.empty() && v.routed {
-				want[v.outDir] = true
+	if r.cfg.FullTick {
+		for p := 0; p < mesh.NumPorts; p++ {
+			for vi := 0; vi < r.numVCs; vi++ {
+				v := r.in[p].vcs[vi]
+				if !v.empty() && v.routed {
+					want[v.outDir] = true
+				}
 			}
+		}
+		return
+	}
+	for key := r.nextOcc(0); key != -1; key = r.nextOcc(key + 1) {
+		v := r.in[key/r.numVCs].vcs[key%r.numVCs]
+		if v.routed {
+			want[v.outDir] = true
 		}
 	}
 }
@@ -406,12 +590,21 @@ func (r *Router) WantsOutputAtSA(want *[mesh.NumPorts]bool, now int64) {
 	if r.buffered == 0 {
 		return
 	}
-	for p := 0; p < mesh.NumPorts; p++ {
-		for vi := 0; vi < r.numVCs; vi++ {
-			v := r.in[p].vcs[vi]
-			if !v.empty() && v.routed && now-v.frontArrival() >= r.trouter {
-				want[v.outDir] = true
+	if r.cfg.FullTick {
+		for p := 0; p < mesh.NumPorts; p++ {
+			for vi := 0; vi < r.numVCs; vi++ {
+				v := r.in[p].vcs[vi]
+				if !v.empty() && v.routed && now-v.frontArrival() >= r.trouter {
+					want[v.outDir] = true
+				}
 			}
+		}
+		return
+	}
+	for key := r.nextOcc(0); key != -1; key = r.nextOcc(key + 1) {
+		v := r.in[key/r.numVCs].vcs[key%r.numVCs]
+		if v.routed && now-v.frontArrival() >= r.trouter {
+			want[v.outDir] = true
 		}
 	}
 }
@@ -477,6 +670,45 @@ func (r *Router) ResidentHeads(fn func(p *flit.Packet)) {
 				if f.Type.IsHead() {
 					fn(f.Packet)
 				}
+			}
+		}
+	}
+}
+
+// SetForwardHook registers the active-set scheduler's receiver-arming
+// callback; see the forwardHook field.
+func (r *Router) SetForwardHook(fn func(mesh.NodeID)) { r.forwardHook = fn }
+
+// PunchEmitter receives one punch emission per resident packet head;
+// core.Fabric implements it.
+type PunchEmitter interface {
+	EmitSource(cur, dst mesh.NodeID)
+}
+
+// EmitPunches emits one source punch per resident packet head, the
+// closure-free hot-path form of ResidentHeads + EmitSource (level
+// semantics: a stalled packet keeps punching every cycle).
+func (r *Router) EmitPunches(f PunchEmitter) {
+	if r.buffered == 0 {
+		return
+	}
+	if r.cfg.FullTick {
+		for p := 0; p < mesh.NumPorts; p++ {
+			for vi := 0; vi < r.numVCs; vi++ {
+				for _, fl := range r.in[p].vcs[vi].buf {
+					if fl.Type.IsHead() {
+						f.EmitSource(r.ID, fl.Packet.Dst)
+					}
+				}
+			}
+		}
+		return
+	}
+	for key := r.nextOcc(0); key != -1; key = r.nextOcc(key + 1) {
+		v := r.in[key/r.numVCs].vcs[key%r.numVCs]
+		for _, fl := range v.buf {
+			if fl.Type.IsHead() {
+				f.EmitSource(r.ID, fl.Packet.Dst)
 			}
 		}
 	}
