@@ -43,10 +43,11 @@ check: vet test race soak bench-check
 # pass per metric, so minute-scale frequency/neighbour phases on shared
 # machines do not trip the gate; bench-diff additionally normalizes out
 # whatever uniform drift remains. The gate locks the per-scheme/load
-# tick benchmarks only; sub-microsecond micros (NetworkStepIdle,
+# tick benchmarks only (8x8 mesh plus the torus and ring rows of
+# BenchmarkTickTopo*); sub-microsecond micros (NetworkStepIdle,
 # PunchFabricStep) are too jitter-prone for a threshold gate — run
 # those by hand with `go test -bench`.
-BENCHES    ?= ^BenchmarkTick$$|^BenchmarkTickFullWalk$$
+BENCHES    ?= ^BenchmarkTick$$|^BenchmarkTickFullWalk$$|^BenchmarkTickTopo$$|^BenchmarkTickTopoFullWalk$$
 BENCHTIME  ?= 0.5s
 BENCHCOUNT ?= 5
 # bench-diff defaults to a 10% gate; shared development machines show

@@ -283,8 +283,18 @@ func BenchmarkNetworkStepLoaded(b *testing.B) {
 // (cmd/noctrace bench-diff).
 func tickBench(b *testing.B, scheme config.Scheme, load float64, fullTick bool) {
 	b.Helper()
+	tickBenchOn(b, "mesh", 8, 8, scheme, load, fullTick)
+}
+
+// tickBenchOn is tickBench over an arbitrary fabric; the topology
+// benchmarks below lock torus and ring rows into the baseline alongside
+// the 8x8 mesh.
+func tickBenchOn(b *testing.B, topoName string, w, h int, scheme config.Scheme, load float64, fullTick bool) {
+	b.Helper()
 	cfg := config.Default()
 	cfg.Scheme = scheme
+	cfg.Topology = topoName
+	cfg.Width, cfg.Height = w, h
 	cfg.FullTick = fullTick
 	cfg.WarmupCycles = 0
 	cfg.MeasureCycles = 1 << 40
@@ -337,6 +347,48 @@ func BenchmarkTickFullWalk(b *testing.B) {
 			s, load := s, load
 			b.Run(fmt.Sprintf("%s/load=%.2f", s, load), func(b *testing.B) {
 				tickBench(b, s, load, true)
+			})
+		}
+	}
+}
+
+// benchFabrics are the locked non-mesh fabric shapes of the baseline:
+// the same shapes the golden differential and checked-soak suites run,
+// so a benchmark row exists for every fabric the correctness battery
+// covers.
+var benchFabrics = []struct {
+	topo          string
+	width, height int
+}{
+	{"torus", 4, 4},
+	{"ring", 8, 1},
+}
+
+// BenchmarkTickTopo measures per-cycle simulation cost on the wrapped
+// fabrics (4x4 torus, 8-node ring) under PowerPunch-PG — the scheme
+// whose punch fabric and dateline VC classes exercise every
+// topology-sensitive path — with the active-set scheduler, at the
+// locked load points.
+func BenchmarkTickTopo(b *testing.B) {
+	for _, fab := range benchFabrics {
+		for _, load := range tickLoads {
+			fab, load := fab, load
+			b.Run(fmt.Sprintf("%s/%s/load=%.2f", fab.topo, config.PowerPunchPG, load), func(b *testing.B) {
+				tickBenchOn(b, fab.topo, fab.width, fab.height, config.PowerPunchPG, load, false)
+			})
+		}
+	}
+}
+
+// BenchmarkTickTopoFullWalk is BenchmarkTickTopo under Config.FullTick,
+// locking the active-set speedup on the wrapped fabrics the same way
+// BenchmarkTickFullWalk does for the mesh.
+func BenchmarkTickTopoFullWalk(b *testing.B) {
+	for _, fab := range benchFabrics {
+		for _, load := range tickLoads {
+			fab, load := fab, load
+			b.Run(fmt.Sprintf("%s/%s/load=%.2f", fab.topo, config.PowerPunchPG, load), func(b *testing.B) {
+				tickBenchOn(b, fab.topo, fab.width, fab.height, config.PowerPunchPG, load, true)
 			})
 		}
 	}

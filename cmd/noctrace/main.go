@@ -13,6 +13,13 @@
 // controlled comparison: every message is identical; only the
 // power-gating behaviour differs.
 //
+// Both commands accept -topo mesh|torus|ring with -width/-height; a
+// trace records node IDs, so replay it on the fabric shape it was
+// recorded on:
+//
+//	noctrace record -topo torus -width 4 -height 4 -out torus.jsonl -rate 0.05
+//	noctrace replay -topo torus -width 4 -height 4 -in torus.jsonl -scheme PowerPunch-PG
+//
 // Replay a failure artifact written by the invariant engine
 // (Config.Checks) and confirm the violation reproduces at the recorded
 // cycle:
@@ -72,10 +79,15 @@ func record(args []string) {
 	bench := fs.String("bench", "", "record a PARSEC-like workload instead")
 	instr := fs.Int64("instr", 20_000, "instructions per core for -bench")
 	seed := fs.Int64("seed", 1, "seed")
+	topoName := fs.String("topo", "mesh", "fabric topology: mesh|torus|ring")
+	width := fs.Int("width", 8, "fabric width (nodes per row)")
+	height := fs.Int("height", 8, "fabric height (rows; must be 1 for -topo ring)")
 	_ = fs.Parse(args)
 
 	cfg := powerpunch.DefaultConfig()
 	cfg.Scheme = powerpunch.NoPG // record on the neutral baseline
+	cfg.Topology = *topoName
+	cfg.Width, cfg.Height = *width, *height
 	cfg.WarmupCycles = 0
 	cfg.MeasureCycles = 1 << 40
 	net, err := powerpunch.NewNetwork(cfg)
@@ -122,6 +134,9 @@ func replay(args []string) {
 	in := fs.String("in", "trace.jsonl", "input trace file")
 	scheme := fs.String("scheme", "PowerPunch-PG", "No-PG|ConvOpt-PG|PowerPunch-Signal|PowerPunch-PG")
 	maxCycles := fs.Int64("max-cycles", 10_000_000, "safety bound")
+	topoName := fs.String("topo", "mesh", "fabric topology the trace was recorded on: mesh|torus|ring")
+	width := fs.Int("width", 8, "fabric width")
+	height := fs.Int("height", 8, "fabric height (must be 1 for -topo ring)")
 	_ = fs.Parse(args)
 
 	var s powerpunch.Scheme
@@ -147,6 +162,8 @@ func replay(args []string) {
 
 	cfg := powerpunch.DefaultConfig()
 	cfg.Scheme = s
+	cfg.Topology = *topoName
+	cfg.Width, cfg.Height = *width, *height
 	cfg.WarmupCycles = 0
 	cfg.MeasureCycles = 1 << 40
 	net, err := powerpunch.NewNetwork(cfg)

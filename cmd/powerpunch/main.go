@@ -33,9 +33,29 @@ func main() {
 	hops := flag.Int("hops", 3, "punch hop count for fig13")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory (fig7-fig13)")
 	checks := flag.Bool("checks", false, "run with the cycle-level invariant engine enabled (slower; violations abort with a replayable artifact)")
+	topoName := flag.String("topo", "", "fabric for the simulation-backed experiments: mesh|torus|ring (default: the paper's 8x8 mesh)")
+	width := flag.Int("width", 0, "fabric width, used with -topo (default 8)")
+	height := flag.Int("height", 0, "fabric height, used with -topo (default 8; must be 1 for -topo ring)")
 	flag.Parse()
 
 	experiments.EnableChecks = *checks
+
+	if *topoName != "" || *width != 0 || *height != 0 {
+		w, h := *width, *height
+		if w == 0 {
+			w = 8
+		}
+		if h == 0 {
+			h = 8
+			if *topoName == "ring" {
+				h = 1
+			}
+		}
+		if err := experiments.SetFabric(*topoName, w, h); err != nil {
+			fmt.Fprintf(os.Stderr, "powerpunch: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	if *list || *fig == "" {
 		fmt.Println("experiments:")

@@ -9,17 +9,26 @@ import (
 )
 
 // TestActiveSetMatchesFullWalk is the golden-metrics equivalence suite
-// for the active-set tick scheduler: every scheme, over three traffic
-// patterns and three load points, must produce results bit-identical to
-// the seed full-walk tick (Config.FullTick). RunResult equality covers
-// every headline metric — the stats summary, the full energy breakdown
-// (per-cycle floating-point accumulations included), static savings and
+// for the active-set tick scheduler: every scheme, on every fabric
+// (mesh, torus, ring), over three traffic patterns and three load
+// points, must produce results bit-identical to the seed full-walk tick
+// (Config.FullTick). RunResult equality covers every headline metric —
+// the stats summary, the full energy breakdown (per-cycle
+// floating-point accumulations included), static savings and
 // gating-event counts — and since experiments.SchemeMetrics is derived
 // field-by-field from RunResult, equality here implies SchemeMetrics
 // equality for every experiment driver. The per-router utilization
 // report is fingerprinted as well so deferred gated-cycle catch-up is
 // proven exact per node, not just in aggregate.
 func TestActiveSetMatchesFullWalk(t *testing.T) {
+	fabrics := []struct {
+		topo          string
+		width, height int
+	}{
+		{"mesh", 4, 4},
+		{"torus", 4, 4},
+		{"ring", 8, 1},
+	}
 	patterns := []struct {
 		name string
 		p    powerpunch.TrafficPattern
@@ -30,40 +39,43 @@ func TestActiveSetMatchesFullWalk(t *testing.T) {
 	}
 	loads := []float64{0.02, 0.10, 0.30}
 
-	for _, s := range powerpunch.Schemes {
-		for _, pat := range patterns {
-			for _, load := range loads {
-				s, pat, load := s, pat, load
-				name := fmt.Sprintf("%s/%s/load=%.2f", s, pat.name, load)
-				t.Run(name, func(t *testing.T) {
-					t.Parallel()
-					run := func(fullTick bool) (powerpunch.RunResult, string) {
-						cfg := powerpunch.DefaultConfig()
-						cfg.Scheme = s
-						cfg.Width, cfg.Height = 4, 4
-						cfg.WarmupCycles = 300
-						cfg.MeasureCycles = 1500
-						cfg.FullTick = fullTick
-						net, err := powerpunch.NewNetwork(cfg)
-						if err != nil {
-							t.Fatal(err)
+	for _, fab := range fabrics {
+		for _, s := range powerpunch.Schemes {
+			for _, pat := range patterns {
+				for _, load := range loads {
+					fab, s, pat, load := fab, s, pat, load
+					name := fmt.Sprintf("%s/%s/%s/load=%.2f", fab.topo, s, pat.name, load)
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						run := func(fullTick bool) (powerpunch.RunResult, string) {
+							cfg := powerpunch.DefaultConfig()
+							cfg.Scheme = s
+							cfg.Topology = fab.topo
+							cfg.Width, cfg.Height = fab.width, fab.height
+							cfg.WarmupCycles = 300
+							cfg.MeasureCycles = 1500
+							cfg.FullTick = fullTick
+							net, err := powerpunch.NewNetwork(cfg)
+							if err != nil {
+								t.Fatal(err)
+							}
+							drv := powerpunch.NewSyntheticTraffic(pat.p, load, 11)
+							res := net.Run(drv)
+							return res, net.Report().String()
 						}
-						drv := powerpunch.NewSyntheticTraffic(pat.p, load, 11)
-						res := net.Run(drv)
-						return res, net.Report().String()
-					}
-					full, fullRep := run(true)
-					act, actRep := run(false)
-					if act != full {
-						t.Errorf("active-set result differs from full walk:\nfull   %+v\nactive %+v", full, act)
-					}
-					if actRep != fullRep {
-						t.Errorf("per-router reports differ:\nfull:\n%s\nactive:\n%s", fullRep, actRep)
-					}
-					if full.Summary.Ejected == 0 {
-						t.Fatalf("degenerate run, nothing ejected: %+v", full)
-					}
-				})
+						full, fullRep := run(true)
+						act, actRep := run(false)
+						if act != full {
+							t.Errorf("active-set result differs from full walk:\nfull   %+v\nactive %+v", full, act)
+						}
+						if actRep != fullRep {
+							t.Errorf("per-router reports differ:\nfull:\n%s\nactive:\n%s", fullRep, actRep)
+						}
+						if full.Summary.Ejected == 0 {
+							t.Fatalf("degenerate run, nothing ejected: %+v", full)
+						}
+					})
+				}
 			}
 		}
 	}

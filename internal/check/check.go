@@ -10,6 +10,7 @@ import (
 	"powerpunch/internal/ni"
 	"powerpunch/internal/pg"
 	"powerpunch/internal/router"
+	"powerpunch/internal/topo"
 )
 
 // Defaults for the tunable thresholds (see config.CheckInterval and
@@ -25,7 +26,8 @@ const (
 // anything it can see.
 type View struct {
 	Cfg     *config.Config
-	M       *mesh.Mesh
+	M       topo.Topology
+	RF      topo.RoutingFunction
 	Routers []*router.Router
 	NIs     []*ni.NI
 	Fabric  *core.Fabric // nil unless a punch scheme is active

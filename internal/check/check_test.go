@@ -76,6 +76,101 @@ func TestCleanRunAllSchemes(t *testing.T) {
 	}
 }
 
+// TestCleanRunWrappedFabrics is TestCleanRunAllSchemes on the wrapped
+// fabrics: every scheme on a 4x4 torus and an 8-node ring, full
+// invariant suite — including the dateline-legality invariant — every
+// cycle, zero violations expected.
+func TestCleanRunWrappedFabrics(t *testing.T) {
+	fabrics := []struct {
+		topo          string
+		width, height int
+	}{
+		{"torus", 4, 4},
+		{"ring", 8, 1},
+	}
+	for _, fab := range fabrics {
+		for _, s := range allSchemes {
+			fab, s := fab, s
+			t.Run(fab.topo+"/"+s.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := config.Default()
+				cfg.Topology = fab.topo
+				cfg.Width, cfg.Height = fab.width, fab.height
+				cfg.Scheme = s
+				cfg.WarmupCycles = 0
+				cfg.MeasureCycles = 1 << 40
+				cfg.CheckInterval = 1
+				n, got := newChecked(t, cfg)
+
+				nodes := fab.width * fab.height
+				rng := rand.New(rand.NewSource(13))
+				for cyc := 0; cyc < 4000; cyc++ {
+					if rng.Float64() < 0.04 {
+						src := mesh.NodeID(rng.Intn(nodes))
+						dst := mesh.NodeID(rng.Intn(nodes))
+						if src != dst {
+							kind, vn := flit.KindControl, flit.VNRequest
+							if rng.Intn(2) == 0 {
+								kind, vn = flit.KindData, flit.VNResponse
+							}
+							p := n.NewPacket(src, dst, vn, kind)
+							n.NI(src).Submit(p, rng.Intn(2) == 0, n.Now())
+						}
+					}
+					n.Step()
+				}
+				for cyc := 0; cyc < 20000 && !n.Quiesced(); cyc++ {
+					n.Step()
+				}
+				if !n.Quiesced() {
+					t.Fatal("network did not quiesce")
+				}
+				for _, a := range *got {
+					t.Errorf("unexpected violation: %v", &a.Violation)
+				}
+			})
+		}
+	}
+}
+
+// TestDatelineInvariantCatchesInvertedClasses injects the
+// InvertDatelineClass fault — every torus packet allocates the opposite
+// dateline VC class — and expects the dateline-legality invariant to
+// catch the first wrapped departure, proving the invariant is not
+// vacuously satisfied on clean runs.
+func TestDatelineInvariantCatchesInvertedClasses(t *testing.T) {
+	cfg := config.Default()
+	cfg.Topology = "torus"
+	cfg.Width, cfg.Height = 4, 4
+	cfg.Scheme = config.NoPG
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 1 << 40
+	cfg.CheckInterval = 1
+	cfg.Faults.InvertDatelineClass = true
+	n, got := newChecked(t, cfg)
+
+	// Node 0 -> node 3: DOR takes the wrap link West out of column 0
+	// (one hop instead of three), which is a class-0 departure; the
+	// fault flips it to class 1.
+	p := n.NewPacket(0, 3, flit.VNRequest, flit.KindControl)
+	n.NI(0).Submit(p, false, n.Now())
+	for n.Now() < 200 && len(*got) == 0 {
+		n.Step()
+	}
+
+	if len(*got) == 0 {
+		t.Fatal("InvertDatelineClass fault was not caught")
+	}
+	a := (*got)[0]
+	if a.Invariant != "dateline-legality" {
+		t.Fatalf("fault caught by %q, want dateline-legality (%s)", a.Invariant, a.Detail)
+	}
+	if !a.Config.Faults.InvertDatelineClass {
+		t.Fatal("artifact config lost the injected fault")
+	}
+	replayMatches(t, a)
+}
+
 // replayMatches round-trips the artifact through its JSON encoding and
 // replays it, asserting the violation reproduces at the identical cycle
 // with the identical invariant — the deterministic-replay guarantee the

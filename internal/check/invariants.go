@@ -5,7 +5,6 @@ import (
 	"powerpunch/internal/mesh"
 	"powerpunch/internal/pg"
 	"powerpunch/internal/router"
-	"powerpunch/internal/routing"
 )
 
 // legalTransition is the power-gating FSM's transition relation as
@@ -278,8 +277,9 @@ func (e *Engine) checkConservation(now int64) {
 
 // checkVCLegality verifies the per-VC state machine: occupancy within
 // depth, VA only after RC, flits in the VCs of their own virtual
-// network, routes matching XY, and the downstream VC ownership table
-// consistent in both directions.
+// network, routes matching the fabric's routing function, allocated
+// out-VCs inside the packet's dateline class on wrapped fabrics, and
+// the downstream VC ownership table consistent in both directions.
 func (e *Engine) checkVCLegality(now int64) {
 	if e.first != nil {
 		return
@@ -322,10 +322,17 @@ func (e *Engine) checkVCLegality(now int64) {
 			}
 			if vv.Front.Type.IsHead() {
 				if vv.Routed {
-					if want := routing.XY(e.view.M, r.ID, vv.Front.Dst()); vv.OutDir != want {
+					want, err := e.view.RF.Route(r.ID, vv.Front.Dst())
+					if err != nil {
 						e.fail(now, "vc-legality",
-							"router %d %v vc%d: packet %d routed %v, XY says %v",
-							i, vv.Port, vv.Index, vv.Front.Packet.ID, vv.OutDir, want)
+							"router %d %v vc%d: packet %d has unroutable destination: %v",
+							i, vv.Port, vv.Index, vv.Front.Packet.ID, err)
+						return
+					}
+					if vv.OutDir != want {
+						e.fail(now, "vc-legality",
+							"router %d %v vc%d: packet %d routed %v, %s says %v",
+							i, vv.Port, vv.Index, vv.Front.Packet.ID, vv.OutDir, e.view.RF, want)
 						return
 					}
 				}
@@ -334,6 +341,23 @@ func (e *Engine) checkVCLegality(now int64) {
 					"router %d %v vc%d: body/tail flit at front without held route (routed=%v vaDone=%v)",
 					i, vv.Port, vv.Index, vv.Routed, vv.VADone)
 				return
+			}
+			// dateline-legality: on wrapped fabrics (torus, ring) the
+			// allocated downstream VC must sit inside the packet's
+			// dateline class for the output's direction — the invariant
+			// the deadlock-freedom argument rests on.
+			if vv.VADone && vv.OutDir != mesh.Local && e.view.RF.VCClasses() > 1 {
+				cls := e.view.RF.ClassFor(r.ID, vv.Front.Dst(), vv.OutDir)
+				rel := vv.OutVC % e.perVN
+				dlo, dhi := e.view.Cfg.DataVCClassRange(cls)
+				clo, chi := e.view.Cfg.CtrlVCClassRange(cls)
+				if !(rel >= dlo && rel < dhi) && !(rel >= clo && rel < chi) {
+					e.fail(now, "dateline-legality",
+						"router %d %v vc%d: packet %d (dst %d) toward %v allocated out-VC %d outside dateline class %d (data [%d,%d), ctrl [%d,%d))",
+						i, vv.Port, vv.Index, vv.Front.Packet.ID, vv.Front.Dst(), vv.OutDir,
+						rel, cls, dlo, dhi, clo, chi)
+					return
+				}
 			}
 		}
 

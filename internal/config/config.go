@@ -6,6 +6,8 @@ package config
 
 import (
 	"fmt"
+
+	"powerpunch/internal/topo"
 )
 
 // Scheme selects the power-management policy under evaluation, matching
@@ -79,9 +81,13 @@ func (s Scheme) UsesNISlack() bool { return s == PowerPunchPG }
 // Config collects all simulation parameters. The defaults reproduce the
 // paper's primary configuration (Table 2 and Section 5).
 type Config struct {
-	// Topology.
-	Width  int // mesh columns
-	Height int // mesh rows
+	// Topology. Topology selects the fabric: "mesh" (default, also the
+	// empty string), "torus" (both dimensions wrap; deadlock freedom via
+	// a dateline VC class on wrap links, which needs DataVCs >= 2), or
+	// "ring" (Width x 1 with a wrapped X dimension).
+	Topology string
+	Width    int // grid columns
+	Height   int // grid rows (1 for a ring)
 
 	// Router microarchitecture.
 	RouterStages   int // 3 (speculative SA) or 4 (look-ahead routing only)
@@ -186,10 +192,18 @@ type Faults struct {
 	// (power-gating schemes) or scheduler-liveness (No-PG). No-op under
 	// FullTick.
 	DropRearms bool
+	// InvertDatelineClass makes VC allocation on wrapped fabrics (torus,
+	// ring) assign every packet the opposite dateline VC class, breaking
+	// the deadlock-freedom discipline. Caught by the dateline-legality
+	// invariant on the first packet that departs along a wrapped
+	// dimension. No-op on the mesh (one class).
+	InvertDatelineClass bool
 }
 
 // Any reports whether any fault is enabled.
-func (f Faults) Any() bool { return f.IgnoreWakeups || f.DropPunchRelays || f.DropRearms }
+func (f Faults) Any() bool {
+	return f.IgnoreWakeups || f.DropPunchRelays || f.DropRearms || f.InvertDatelineClass
+}
 
 // Default returns the paper's primary configuration: 8x8 mesh, XY routing,
 // wormhole switching, 3 VNs with 2x3-flit data VCs and 1x1-flit control
@@ -233,6 +247,51 @@ func Default() Config {
 // VCsPerVN returns the number of virtual channels per virtual network.
 func (c *Config) VCsPerVN() int { return c.DataVCs + c.CtrlVCs }
 
+// TopologyKind returns the parsed fabric kind; invalid names fall back
+// to the mesh (Validate reports them as errors).
+func (c *Config) TopologyKind() topo.Kind {
+	k, _ := topo.ParseKind(c.Topology)
+	return k
+}
+
+// BuildRouting constructs the configured topology and its canonical
+// routing function.
+func (c *Config) BuildRouting() (topo.RoutingFunction, error) {
+	return topo.Build(c.Topology, c.Width, c.Height)
+}
+
+// DataVCClassRange returns the half-open subrange [lo, hi) of data VC
+// indices (within a VN) that dateline class cls may allocate on fabrics
+// with wrap links. Class 0 (pre-dateline) gets the lower half, class 1
+// the rest; class 1 also carries all never-wrapping traffic, so it gets
+// the larger share when DataVCs is odd. On the mesh (one class) the
+// router never consults this.
+func (c *Config) DataVCClassRange(cls int) (lo, hi int) {
+	if cls == 0 {
+		return 0, c.DataVCs / 2
+	}
+	return c.DataVCs / 2, c.DataVCs
+}
+
+// CtrlVCClassRange is DataVCClassRange for the control VCs (indices
+// after the data VCs). With fewer than two control VCs, class 0's range
+// is empty and control packets in class 0 fall back to the class-0 data
+// VCs; the whole control range goes to class 1, which is safe because
+// the class-1 channel subgraph is acyclic on its own.
+func (c *Config) CtrlVCClassRange(cls int) (lo, hi int) {
+	base := c.DataVCs
+	if c.CtrlVCs >= 2 {
+		if cls == 0 {
+			return base, base + c.CtrlVCs/2
+		}
+		return base + c.CtrlVCs/2, base + c.CtrlVCs
+	}
+	if cls == 0 {
+		return base, base
+	}
+	return base, base + c.CtrlVCs
+}
+
 // VCDepth returns the buffer depth of VC index v within a virtual
 // network: data VCs come first, control VCs after.
 func (c *Config) VCDepth(v int) int {
@@ -256,9 +315,24 @@ func (c *Config) PunchSlackCycles() int { return c.PunchHops * c.RouterCycles() 
 
 // Validate reports the first invalid parameter combination, or nil.
 func (c *Config) Validate() error {
+	kind, err := topo.ParseKind(c.Topology)
+	if err != nil {
+		return fmt.Errorf("config: %v", err)
+	}
+	switch kind {
+	case topo.KindRing:
+		if c.Height != 1 {
+			return fmt.Errorf("config: ring topology needs Height 1, got %dx%d", c.Width, c.Height)
+		}
+		if c.Width < 2 {
+			return fmt.Errorf("config: ring needs at least 2 nodes, got %d", c.Width)
+		}
+	default:
+		if c.Width < 2 || c.Height < 2 {
+			return fmt.Errorf("config: %s must be at least 2x2, got %dx%d", kind, c.Width, c.Height)
+		}
+	}
 	switch {
-	case c.Width < 2 || c.Height < 2:
-		return fmt.Errorf("config: mesh must be at least 2x2, got %dx%d", c.Width, c.Height)
 	case c.RouterStages != 3 && c.RouterStages != 4:
 		return fmt.Errorf("config: RouterStages must be 3 or 4, got %d", c.RouterStages)
 	case c.LinkLatency < 1:
@@ -285,9 +359,24 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("config: BreakEven must be >= 0, got %d", c.BreakEven)
 		}
 	}
+	if kind != topo.KindMesh && c.DataVCs < 2 {
+		// Wrapped fabrics split the data VCs into two dateline classes;
+		// each class needs at least one VC or packets on one side of the
+		// dateline could never allocate a buffer.
+		return fmt.Errorf("config: %s topology needs DataVCs >= 2 for the dateline VC classes, got %d",
+			kind, c.DataVCs)
+	}
 	if c.Scheme.UsesPunch() {
 		if c.PunchHops < 1 || c.PunchHops > 4 {
 			return fmt.Errorf("config: PunchHops must be in [1,4], got %d", c.PunchHops)
+		}
+		t, err := topo.New(kind, c.Width, c.Height)
+		if err != nil {
+			return fmt.Errorf("config: %v", err)
+		}
+		if d := t.Diameter(); c.PunchHops > d {
+			return fmt.Errorf("config: PunchHops %d exceeds the %s diameter %d (no packet travels that far)",
+				c.PunchHops, t, d)
 		}
 		if c.PunchIdleTimeout < 2 {
 			return fmt.Errorf("config: PunchIdleTimeout must be >= 2, got %d", c.PunchIdleTimeout)

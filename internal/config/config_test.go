@@ -44,12 +44,41 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		func(c *Config) { c.PunchIdleTimeout = 1 },
 		func(c *Config) { c.NILatency = 0 },
 		func(c *Config) { c.ResourceSlackValidFrac = 1.5 },
+		func(c *Config) { c.Topology = "hypercube" },
+		func(c *Config) { c.Topology = "ring" }, // ring needs Height == 1
+		func(c *Config) { c.Topology = "ring"; c.Height = 1; c.Width = 1 },
+		func(c *Config) { c.Topology = "torus"; c.DataVCs = 1 }, // dateline classes need 2
+		func(c *Config) { c.Topology = "ring"; c.Height = 1; c.DataVCs = 1 },
+		func(c *Config) { c.Width, c.Height = 2, 2 },                       // PunchHops 3 > mesh diameter 2
+		func(c *Config) { c.Topology = "torus"; c.Width, c.Height = 2, 2 }, // PunchHops 3 > torus diameter 2
 	}
 	for i, m := range mut {
 		cfg := Default()
 		m(&cfg)
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+// TestValidateAcceptsTopologies pins the accepted fabric configurations
+// and that diameter-aware punch bounds use the wrapped distance: a 4x4
+// torus has diameter 4, so PunchHops 4 passes where the mutation table
+// above shows PunchHops 4 failing only past the diameter.
+func TestValidateAcceptsTopologies(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Topology = "" },     // default mesh
+		func(c *Config) { c.Topology = "mesh" }, // explicit
+		func(c *Config) { c.Topology = "torus"; c.Width, c.Height = 4, 4; c.PunchHops = 4 },
+		func(c *Config) { c.Topology = "torus"; c.Width, c.Height = 8, 8 },
+		func(c *Config) { c.Topology = "ring"; c.Width, c.Height = 8, 1; c.PunchHops = 4 },
+		func(c *Config) { c.Topology = "ring"; c.Width, c.Height = 2, 1; c.PunchHops = 1 },
+	}
+	for i, m := range cases {
+		cfg := Default()
+		m(&cfg)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("case %d: unexpected validation error: %v", i, err)
 		}
 	}
 }

@@ -7,7 +7,7 @@ import (
 	"strings"
 
 	"powerpunch/internal/mesh"
-	"powerpunch/internal/routing"
+	"powerpunch/internal/topo"
 )
 
 // A TargetSet is a reduced, canonical (sorted) set of targeted routers as
@@ -58,45 +58,64 @@ type ChannelEncoding struct {
 	// WidthBits is the channel width needed to distinguish every code
 	// plus the idle (no punch) state.
 	WidthBits int
+
+	rf topo.RoutingFunction // the routing function the book was derived under
 }
 
-// EncodeChannel enumerates every distinct reduced target set that can
+// xyOn returns the XY routing function over m. The mesh-typed entry
+// points below are the paper's special case of the generic enumerator.
+func xyOn(m *mesh.Mesh) topo.RoutingFunction {
+	return topo.Routing(topo.FromMesh(m))
+}
+
+// EncodeChannel is EncodeChannelOn specialized to a 2D mesh under XY
+// routing — the configuration the paper derives Table 1 for.
+func EncodeChannel(m *mesh.Mesh, r mesh.NodeID, d mesh.Direction, hops int) *ChannelEncoding {
+	return EncodeChannelOn(xyOn(m), r, d, hops)
+}
+
+// EncodeChannelOn enumerates every distinct reduced target set that can
 // appear on the punch channel leaving router r in direction d, for
-// punch hop-count `hops`, under XY-routing legality. It applies the
-// paper's five-step reduction:
+// punch hop-count `hops`, under the given routing function's legality.
+// It applies the paper's five-step reduction (Section 4.1), with the
+// routing function supplying the path and legality structure XY used to:
 //
-//  1. targets are determined by XY routing,
+//  1. targets are determined by the (deterministic, minimal) routing
+//     function,
 //  2. intermediate routers need no explicit information,
-//  3. only emitters whose XY path crosses the channel can use it,
-//  4. a target on the XY path to another target is implicit and removed,
+//  3. only emitters whose routed path crosses the channel can use it,
+//  4. a target on the routed path to another target is implicit and
+//     removed,
 //  5. the remaining distinct sets are numbered; the channel width is
 //     ceil(log2(#sets + 1)) to include the idle state.
 //
-// It returns nil when the channel does not exist (edge of the mesh).
-func EncodeChannel(m *mesh.Mesh, r mesh.NodeID, d mesh.Direction, hops int) *ChannelEncoding {
-	next := m.Neighbor(r, d)
+// It returns nil when the channel does not exist (edge of a mesh, Y
+// direction of a ring).
+func EncodeChannelOn(rf topo.RoutingFunction, r mesh.NodeID, d mesh.Direction, hops int) *ChannelEncoding {
+	t := rf.Topology()
+	next := t.Neighbor(r, d)
 	if next == mesh.Invalid || d == mesh.Local {
 		return nil
 	}
 
-	emitters := channelEmitters(m, r, d, hops)
+	emitters := channelEmitters(rf, r, d, hops)
 
 	// Enumerate the distinct reduced sets reachable by choosing at most
 	// one target per emitter. Processing emitters one at a time and
 	// keeping only distinct reduced sets is sound because reduction keeps
-	// the maximal elements of the "lies on the XY path to" partial order,
-	// and maximal(maximal(A) ∪ B) == maximal(A ∪ B); it also keeps the
-	// enumeration polynomial in the (small) number of distinct codes.
+	// the maximal elements of the "lies on the routed path to" partial
+	// order, and maximal(maximal(A) ∪ B) == maximal(A ∪ B); it also keeps
+	// the enumeration polynomial in the (small) number of distinct codes.
 	seen := map[string]TargetSet{"": {}}
 	for _, em := range emitters {
 		next := make(map[string]TargetSet, len(seen)*2)
 		for k, s := range seen {
 			next[k] = s // emitter silent
-			for _, t := range em.Targets {
+			for _, tg := range em.Targets {
 				comb := make([]mesh.NodeID, 0, len(s)+1)
 				comb = append(comb, s...)
-				comb = append(comb, t)
-				red := reduceTargets(m, r, comb)
+				comb = append(comb, tg)
+				red := reduceTargetsOn(rf, r, comb)
 				next[red.Key()] = red
 			}
 		}
@@ -133,6 +152,7 @@ func EncodeChannel(m *mesh.Mesh, r mesh.NodeID, d mesh.Direction, hops int) *Cha
 		Emitters:  emitters,
 		Codes:     codes,
 		WidthBits: widthBits(len(codes)),
+		rf:        rf,
 	}
 }
 
@@ -147,23 +167,24 @@ func widthBits(n int) int {
 // channelEmitters returns, in upstream-to-downstream order ending at r,
 // the routers whose wakeup signals can traverse the channel r->d and the
 // targets each can name. An emitter E holding a packet names target
-// T = Ahead(E, dst, hops); the signal uses this channel iff the XY path
-// E->T includes the link r->next. Since dist(E,T) <= hops and T lies
-// strictly beyond r, emitters satisfy dist(E,r) < hops.
-func channelEmitters(m *mesh.Mesh, r mesh.NodeID, d mesh.Direction, hops int) []Emitter {
-	next := m.Neighbor(r, d)
+// T = Ahead(E, dst, hops); the signal uses this channel iff the routed
+// path E->T includes the link r->next. Since dist(E,T) <= hops and T
+// lies strictly beyond r, emitters satisfy dist(E,r) < hops.
+func channelEmitters(rf topo.RoutingFunction, r mesh.NodeID, d mesh.Direction, hops int) []Emitter {
+	t := rf.Topology()
+	next := t.Neighbor(r, d)
 	var emitters []Emitter
-	for n := mesh.NodeID(0); m.Contains(n); n++ {
-		if m.HopDistance(n, r) >= hops {
+	for n := mesh.NodeID(0); t.Contains(n); n++ {
+		if t.HopDistance(n, r) >= hops {
 			continue
 		}
 		var targets []mesh.NodeID
-		for t := mesh.NodeID(0); m.Contains(t); t++ {
-			if t == n || m.HopDistance(n, t) > hops {
+		for tg := mesh.NodeID(0); t.Contains(tg); tg++ {
+			if tg == n || t.HopDistance(n, tg) > hops {
 				continue
 			}
-			if pathUsesLink(m, n, t, r, next) {
-				targets = append(targets, t)
+			if topo.PathUsesLink(rf, n, tg, r, next) {
+				targets = append(targets, tg)
 			}
 		}
 		if len(targets) > 0 {
@@ -173,7 +194,7 @@ func channelEmitters(m *mesh.Mesh, r mesh.NodeID, d mesh.Direction, hops int) []
 	// Emitters sorted by distance from r descending (farthest upstream
 	// first), matching the paper's presentation (R25, R26, R27).
 	sort.Slice(emitters, func(i, j int) bool {
-		di, dj := m.HopDistance(emitters[i].Router, r), m.HopDistance(emitters[j].Router, r)
+		di, dj := t.HopDistance(emitters[i].Router, r), t.HopDistance(emitters[j].Router, r)
 		if di != dj {
 			return di > dj
 		}
@@ -182,24 +203,15 @@ func channelEmitters(m *mesh.Mesh, r mesh.NodeID, d mesh.Direction, hops int) []
 	return emitters
 }
 
-// pathUsesLink reports whether the XY path from src to dst traverses the
-// directed link a->b.
-func pathUsesLink(m *mesh.Mesh, src, dst, a, b mesh.NodeID) bool {
-	cur := src
-	for cur != dst {
-		nh := routing.NextHop(m, cur, dst)
-		if cur == a && nh == b {
-			return true
-		}
-		cur = nh
-	}
-	return false
+// reduceTargets is reduceTargetsOn specialized to XY on a mesh.
+func reduceTargets(m *mesh.Mesh, r mesh.NodeID, targets []mesh.NodeID) TargetSet {
+	return reduceTargetsOn(xyOn(m), r, targets)
 }
 
-// reduceTargets removes targets implicitly contained in others: T1 is
-// implicit if it lies on the XY path from r to some other target T2
+// reduceTargetsOn removes targets implicitly contained in others: T1 is
+// implicit if it lies on the routed path from r to some other target T2
 // (paper step 4). The result is canonical (sorted, unique).
-func reduceTargets(m *mesh.Mesh, r mesh.NodeID, targets []mesh.NodeID) TargetSet {
+func reduceTargetsOn(rf topo.RoutingFunction, r mesh.NodeID, targets []mesh.NodeID) TargetSet {
 	uniq := make([]mesh.NodeID, 0, len(targets))
 	for _, t := range targets {
 		dup := false
@@ -221,7 +233,7 @@ func reduceTargets(m *mesh.Mesh, r mesh.NodeID, targets []mesh.NodeID) TargetSet
 				continue
 			}
 			// t is implicit if it lies on the path r->u (strictly before u).
-			if routing.OnPath(m, r, u, t) {
+			if topo.OnPath(rf, r, u, t) {
 				implicit = true
 				break
 			}
@@ -234,14 +246,20 @@ func reduceTargets(m *mesh.Mesh, r mesh.NodeID, targets []mesh.NodeID) TargetSet
 	return out
 }
 
-// MaxChannelWidths computes, over every router of the mesh, the maximum
-// punch-channel width in each dimension for the given hop count. The
-// paper reports 5-bit X / 2-bit Y for 3-hop punch and 8-bit X / 2-bit Y
-// for 4-hop punch.
+// MaxChannelWidths is MaxChannelWidthsOn specialized to XY on a mesh.
+// The paper reports 5-bit X / 2-bit Y for 3-hop punch and 8-bit X /
+// 2-bit Y for 4-hop punch on the 8x8 mesh.
 func MaxChannelWidths(m *mesh.Mesh, hops int) (xBits, yBits int) {
-	for r := mesh.NodeID(0); m.Contains(r); r++ {
+	return MaxChannelWidthsOn(xyOn(m), hops)
+}
+
+// MaxChannelWidthsOn computes, over every router of the fabric, the
+// maximum punch-channel width in each dimension for the given hop count.
+func MaxChannelWidthsOn(rf topo.RoutingFunction, hops int) (xBits, yBits int) {
+	t := rf.Topology()
+	for r := mesh.NodeID(0); t.Contains(r); r++ {
 		for _, d := range mesh.LinkDirections {
-			enc := EncodeChannel(m, r, d, hops)
+			enc := EncodeChannelOn(rf, r, d, hops)
 			if enc == nil {
 				continue
 			}
@@ -258,9 +276,18 @@ func MaxChannelWidths(m *mesh.Mesh, hops int) (xBits, yBits int) {
 
 // CodeFor returns the channel code for a set of raw (unreduced) targets,
 // or -1 if the merged set is not encodable on this channel. Code 0 is
-// reserved for the idle state; valid punch codes start at 1.
+// reserved for the idle state; valid punch codes start at 1. The mesh
+// argument is retained for call-site compatibility; reduction uses the
+// routing function the encoding was derived under.
 func (e *ChannelEncoding) CodeFor(m *mesh.Mesh, targets []mesh.NodeID) int {
-	red := reduceTargets(m, e.Router, targets)
+	return e.CodeForSet(targets)
+}
+
+// CodeForSet returns the channel code for a set of raw (unreduced)
+// targets under the encoding's own routing function, or -1 if the
+// merged set is not encodable on this channel.
+func (e *ChannelEncoding) CodeForSet(targets []mesh.NodeID) int {
+	red := reduceTargetsOn(e.rf, e.Router, targets)
 	key := red.Key()
 	for _, c := range e.Codes {
 		if c.Set.Key() == key {

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"powerpunch/internal/mesh"
+	"powerpunch/internal/topo"
+)
+
+// bruteForceCodeBook enumerates, without the incremental-reduction
+// shortcut EncodeChannelOn uses, every distinct reduced target set a
+// channel can carry: all unions of at most one target per emitter,
+// each reduced independently. It is the ground truth the fast
+// enumerator must match. Returns nil (and ok=false) when the naive
+// product of choices is too large to walk.
+func bruteForceCodeBook(rf topo.RoutingFunction, e *ChannelEncoding) (map[string]TargetSet, bool) {
+	product := 1
+	for _, em := range e.Emitters {
+		product *= 1 + len(em.Targets)
+		if product > 1<<18 {
+			return nil, false
+		}
+	}
+	sets := map[string]TargetSet{}
+	var walk func(i int, acc []mesh.NodeID)
+	walk = func(i int, acc []mesh.NodeID) {
+		if i == len(e.Emitters) {
+			if len(acc) == 0 {
+				return
+			}
+			red := reduceTargetsOn(rf, e.Router, acc)
+			sets[red.Key()] = red
+			return
+		}
+		walk(i+1, acc) // emitter silent
+		for _, tg := range e.Emitters[i].Targets {
+			walk(i+1, append(acc, tg))
+		}
+	}
+	walk(0, nil)
+	return sets, true
+}
+
+// TestEncoderMatchesBruteForceAcrossShapes is the satellite property
+// test for the generic enumerator: on non-square and tiny meshes (2x2,
+// 4x8, 8x4) and on the wrapped fabrics (4x4 torus, 8-node ring), every
+// channel's code book must contain exactly the brute-force set of
+// reachable reduced target sets — no phantom codes, no missing
+// combinations — and every code must round-trip through CodeForSet.
+func TestEncoderMatchesBruteForceAcrossShapes(t *testing.T) {
+	fabrics := []struct {
+		name          string
+		width, height int
+	}{
+		{"mesh", 2, 2},
+		{"mesh", 4, 8},
+		{"mesh", 8, 4},
+		{"torus", 4, 4},
+		{"ring", 8, 1},
+	}
+	for _, fab := range fabrics {
+		rf, err := topo.Build(fab.name, fab.width, fab.height)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := rf.Topology()
+		for hops := 1; hops <= 3; hops++ {
+			if hops > top.Diameter() {
+				continue
+			}
+			t.Run(fmt.Sprintf("%dx%d-%s/hops=%d", fab.width, fab.height, fab.name, hops), func(t *testing.T) {
+				channels := 0
+				for r := mesh.NodeID(0); top.Contains(r); r++ {
+					for _, d := range mesh.LinkDirections {
+						e := EncodeChannelOn(rf, r, d, hops)
+						if e == nil {
+							if top.Neighbor(r, d) != mesh.Invalid {
+								t.Fatalf("r%d %v: link exists but channel is nil", r, d)
+							}
+							continue
+						}
+						channels++
+						want, ok := bruteForceCodeBook(rf, e)
+						if !ok {
+							t.Fatalf("r%d %v: brute force infeasible (%d emitters)", r, d, len(e.Emitters))
+						}
+						if len(want) != len(e.Codes) {
+							t.Fatalf("r%d %v: enumerator found %d sets, brute force %d",
+								r, d, len(e.Codes), len(want))
+						}
+						for _, c := range e.Codes {
+							if _, present := want[c.Set.Key()]; !present {
+								t.Fatalf("r%d %v: phantom code %v not reachable by any emitter choice",
+									r, d, c.Set)
+							}
+							if got := e.CodeForSet(c.Set); got != c.Code+1 {
+								t.Fatalf("r%d %v: CodeForSet(%v) = %d, want %d", r, d, c.Set, got, c.Code+1)
+							}
+						}
+					}
+				}
+				if channels == 0 {
+					t.Fatal("no channels enumerated")
+				}
+			})
+		}
+	}
+}
+
+// TestNonSquareWidthsAreConsistent pins the channel widths the
+// enumerator derives for the rectangular meshes: X channels see at most
+// the same emitter structure as the square mesh's rows, so a 4x8 and an
+// 8x4 mesh at 3-hop punch must stay within the paper's 5-bit X / 2-bit
+// Y envelope, and the 8x8 values remain the regression oracle.
+func TestNonSquareWidthsAreConsistent(t *testing.T) {
+	for _, tc := range []struct {
+		w, h       int
+		maxX, maxY int
+	}{
+		{2, 2, 2, 1},
+		{4, 8, 5, 2},
+		{8, 4, 5, 2},
+		{8, 8, 5, 2},
+	} {
+		x, y := MaxChannelWidths(mesh.New(tc.w, tc.h), 3)
+		if x > tc.maxX || y > tc.maxY {
+			t.Errorf("%dx%d: widths X=%d Y=%d exceed envelope X<=%d Y<=%d",
+				tc.w, tc.h, x, y, tc.maxX, tc.maxY)
+		}
+		if tc.w == 8 && tc.h == 8 && (x != 5 || y != 2) {
+			t.Errorf("8x8 regression oracle: got X=%d Y=%d, want 5/2", x, y)
+		}
+	}
+}

@@ -5,18 +5,23 @@ import (
 
 	"powerpunch/internal/mesh"
 	"powerpunch/internal/power"
-	"powerpunch/internal/routing"
+	"powerpunch/internal/topo"
 )
 
-// TargetedRouter computes the paper's targeted router for a packet at cur
-// destined to dst with a k-hop punch: the router k hops ahead on the XY
-// path, or the destination if it is closer. It returns mesh.Invalid when
-// cur == dst (no punch needed).
+// TargetedRouter is TargetedRouterOn specialized to XY on a mesh.
 func TargetedRouter(m *mesh.Mesh, cur, dst mesh.NodeID, k int) mesh.NodeID {
+	return TargetedRouterOn(xyOn(m), cur, dst, k)
+}
+
+// TargetedRouterOn computes the paper's targeted router for a packet at
+// cur destined to dst with a k-hop punch: the router k hops ahead on
+// the routed path, or the destination if it is closer. It returns
+// mesh.Invalid when cur == dst (no punch needed).
+func TargetedRouterOn(rf topo.RoutingFunction, cur, dst mesh.NodeID, k int) mesh.NodeID {
 	if cur == dst {
 		return mesh.Invalid
 	}
-	return routing.Ahead(m, cur, dst, k)
+	return topo.Ahead(rf, cur, dst, k)
 }
 
 // FabricStats counts punch-fabric activity.
@@ -27,7 +32,7 @@ type FabricStats struct {
 	StrictDrops     int64 // source emissions deferred by strict arbitration
 }
 
-// Fabric is the punch-signal network for one mesh. It is driven by the
+// Fabric is the punch-signal network for one fabric. It is driven by the
 // simulator's cycle loop:
 //
 //	fabric.EmitSource / EmitLocal  (during the cycle, level semantics)
@@ -38,7 +43,8 @@ type FabricStats struct {
 // t+1 (one link per cycle); relay through a controller is combinational
 // (paper Section 6.6) and adds no extra latency.
 type Fabric struct {
-	m    *mesh.Mesh
+	rf   topo.RoutingFunction
+	t    topo.Topology
 	hops int
 	// strict limits each router to one newly-generated punch per outgoing
 	// direction per cycle, matching the single-signal-per-emitter model
@@ -83,15 +89,22 @@ type Fabric struct {
 	stats FabricStats
 }
 
-// NewFabric returns a punch fabric for mesh m with the given hop-count
-// slack (paper default 3). acct may be nil to skip energy accounting.
+// NewFabric is NewFabricOn specialized to XY on a mesh.
 func NewFabric(m *mesh.Mesh, hops int, strict bool, acct *power.Accountant) *Fabric {
+	return NewFabricOn(xyOn(m), hops, strict, acct)
+}
+
+// NewFabricOn returns a punch fabric routed by rf with the given
+// hop-count slack (paper default 3). acct may be nil to skip energy
+// accounting.
+func NewFabricOn(rf topo.RoutingFunction, hops int, strict bool, acct *power.Accountant) *Fabric {
 	if hops < 1 {
 		panic(fmt.Sprintf("core: punch hops must be >= 1, got %d", hops))
 	}
-	n := m.NumNodes()
+	n := rf.Topology().NumNodes()
 	return &Fabric{
-		m:          m,
+		rf:         rf,
+		t:          rf.Topology(),
 		hops:       hops,
 		strict:     strict,
 		acct:       acct,
@@ -128,7 +141,7 @@ func (f *Fabric) codebook(node int, di int) map[string]bool {
 		return cb
 	}
 	cb := map[string]bool{}
-	if enc := EncodeChannel(f.m, mesh.NodeID(node), mesh.LinkDirections[di], f.hops); enc != nil {
+	if enc := EncodeChannelOn(f.rf, mesh.NodeID(node), mesh.LinkDirections[di], f.hops); enc != nil {
 		for _, c := range enc.Codes {
 			cb[c.Set.Key()] = true
 		}
@@ -140,7 +153,7 @@ func (f *Fabric) codebook(node int, di int) map[string]bool {
 // checkEncodable panics if the channel's merged set is outside its code
 // book.
 func (f *Fabric) checkEncodable(node, di int, targets []mesh.NodeID) {
-	red := reduceTargets(f.m, mesh.NodeID(node), targets)
+	red := reduceTargetsOn(f.rf, mesh.NodeID(node), targets)
 	if !f.codebook(node, di)[red.Key()] {
 		panic(fmt.Sprintf("core: channel %d->%v carries unencodable set %v (reduced %v)",
 			node, mesh.LinkDirections[di], targets, red))
@@ -156,12 +169,12 @@ func (f *Fabric) Stats() FabricStats { return f.stats }
 // cycle (level semantics: a stalled packet keeps punching). No-op when
 // cur == dst.
 func (f *Fabric) EmitSource(cur, dst mesh.NodeID) {
-	t := TargetedRouter(f.m, cur, dst, f.hops)
+	t := TargetedRouterOn(f.rf, cur, dst, f.hops)
 	if t == mesh.Invalid {
 		return
 	}
 	if f.strict {
-		d := routing.XY(f.m, cur, t)
+		d := topo.MustRoute(f.rf, cur, t)
 		if d != mesh.Local {
 			di := dirIndex(d)
 			if f.strictUsed[cur][di] {
@@ -202,7 +215,7 @@ func (f *Fabric) HoldLocal(n mesh.NodeID) {
 // toward their targets, and prepares the next cycle's inboxes. Call
 // exactly once per simulation cycle after all Emit* calls.
 func (f *Fabric) Step() {
-	n := f.m.NumNodes()
+	n := f.t.NumNodes()
 	f.heldList = f.heldList[:0]
 	for node := 0; node < n; node++ {
 		id := mesh.NodeID(node)
@@ -218,7 +231,7 @@ func (f *Fabric) Step() {
 				if t == id {
 					continue // absorbed: this router is the target
 				}
-				d := routing.XY(f.m, id, t)
+				d := topo.MustRoute(f.rf, id, t)
 				di := dirIndex(d)
 				before := len(f.outbox[node][di])
 				f.outbox[node][di] = appendUnique(f.outbox[node][di], t)
@@ -254,9 +267,9 @@ func (f *Fabric) Step() {
 			if f.verify {
 				f.checkEncodable(node, di, out)
 			}
-			nb := f.m.Neighbor(id, mesh.LinkDirections[di])
+			nb := f.t.Neighbor(id, mesh.LinkDirections[di])
 			if nb == mesh.Invalid {
-				// A target beyond the mesh edge is impossible under XY
+				// A target beyond a fabric edge is impossible under minimal
 				// routing toward a valid node; drop defensively.
 				f.outbox[node][di] = out[:0]
 				continue

@@ -49,7 +49,7 @@ func RunAblation(f Fidelity, seed int64) ([]AblationPoint, error) {
 		cfg.WarmupCycles = f.warmupCycles()
 		cfg.MeasureCycles = f.measureCycles()
 		v.mut(&cfg)
-		cfg = applyChecks(cfg)
+		cfg = applyOverrides(cfg)
 		net, err := network.New(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation %s: %w", v.label, err)

@@ -28,11 +28,41 @@ import (
 // every figure regeneration.
 var EnableChecks bool
 
-// applyChecks stamps the package-wide check setting onto one run's
-// configuration; every driver funnels its config through here.
-func applyChecks(cfg config.Config) config.Config {
+// fabric is the package-wide topology override set by SetFabric. The
+// zero value means "paper default" (the 8x8 mesh from config.Default),
+// so drivers are unaffected until the CLI asks for another fabric.
+var fabric struct {
+	set           bool
+	topology      string
+	width, height int
+}
+
+// SetFabric selects the fabric every simulation-backed experiment
+// driver runs on (`powerpunch -topo torus -width 4 -height 4`). The
+// combination is validated against the paper's default parameters up
+// front so a bad topology fails once, loudly, instead of once per
+// (pattern, rate, scheme) job. The analytic paper artifacts — Table 1,
+// Table 2, the area model — stay on the mesh they describe.
+func SetFabric(topology string, width, height int) error {
+	cfg := config.Default()
+	cfg.Topology, cfg.Width, cfg.Height = topology, width, height
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	fabric.set = true
+	fabric.topology, fabric.width, fabric.height = topology, width, height
+	return nil
+}
+
+// applyOverrides stamps the package-wide check and fabric settings onto
+// one run's configuration; every driver funnels its config through here.
+func applyOverrides(cfg config.Config) config.Config {
 	if EnableChecks {
 		cfg.Checks = true
+	}
+	if fabric.set {
+		cfg.Topology = fabric.topology
+		cfg.Width, cfg.Height = fabric.width, fabric.height
 	}
 	return cfg
 }

@@ -54,7 +54,7 @@ func RunFullSystem(o FullSystemOptions) ([]BenchResult, error) {
 			errs[i] = err
 			return
 		}
-		cfg := applyChecks(baseConfig().WithScheme(s))
+		cfg := applyOverrides(baseConfig().WithScheme(s))
 		net, err := network.New(cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("experiments: %s/%v: %w", bench, s, err)

@@ -28,12 +28,18 @@ func RunHeatmap(scheme config.Scheme, f Fidelity, seed int64) (*HeatmapResult, e
 	cfg := config.Default().WithScheme(scheme)
 	cfg.WarmupCycles = f.warmupCycles()
 	cfg.MeasureCycles = f.measureCycles()
-	cfg = applyChecks(cfg)
+	cfg = applyOverrides(cfg)
 	net, err := network.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	hot := net.M.NodeAt(mesh.Coord{X: 1, Y: 1})
+	// Hotspot one hop in from the origin corner; on single-row fabrics
+	// (rings) the Y offset collapses to the only row there is.
+	hotC := mesh.Coord{X: 1, Y: 1}
+	if hotC.Y >= cfg.Height {
+		hotC.Y = cfg.Height - 1
+	}
+	hot := net.M.NodeAt(hotC)
 	drv := traffic.NewSynthetic(traffic.Hotspot{Node: hot, Frac: 0.7}, 0.02, seed)
 
 	res := &HeatmapResult{Scheme: scheme, Width: cfg.Width, Height: cfg.Height,

@@ -96,7 +96,7 @@ func RunLoadSweep(o LoadSweepOptions) ([]LoadPoint, error) {
 		cfg := config.Default().WithScheme(j.scheme)
 		cfg.WarmupCycles = o.Fidelity.warmupCycles()
 		cfg.MeasureCycles = o.Fidelity.measureCycles()
-		cfg = applyChecks(cfg)
+		cfg = applyOverrides(cfg)
 		net, err := network.New(cfg)
 		if err != nil {
 			errs[i] = err

@@ -60,7 +60,7 @@ func RunSensitivity(o SensitivityOptions) ([]SensitivityPoint, error) {
 			cfg.PunchHops = o.PunchHops
 			cfg.WarmupCycles = o.Fidelity.warmupCycles()
 			cfg.MeasureCycles = o.Fidelity.measureCycles()
-			cfg = applyChecks(cfg)
+			cfg = applyOverrides(cfg)
 			net, err := network.New(cfg)
 			if err != nil {
 				return nil, err
@@ -123,7 +123,7 @@ func RunScalability(f Fidelity, seed int64) ([]ScalabilityPoint, error) {
 			cfg.Width, cfg.Height = w, w
 			cfg.WarmupCycles = f.warmupCycles()
 			cfg.MeasureCycles = f.measureCycles()
-			cfg = applyChecks(cfg)
+			cfg = applyOverrides(cfg)
 			net, err := network.New(cfg)
 			if err != nil {
 				return nil, err

@@ -1,6 +1,7 @@
 // Package network assembles routers, links, network interfaces, the
 // power-gating controllers, and the Power Punch fabric into a complete
-// mesh NoC, and drives the synchronous cycle loop. All inter-component
+// NoC over any topo.Topology (mesh, torus, or ring), and drives the
+// synchronous cycle loop. All inter-component
 // communication is latched: signals written in cycle t are visible in
 // cycle t+1 (plus link latency), so component evaluation order within a
 // cycle cannot leak information backwards.
@@ -19,12 +20,16 @@ import (
 	"powerpunch/internal/power"
 	"powerpunch/internal/router"
 	"powerpunch/internal/stats"
+	"powerpunch/internal/topo"
 )
 
 // Network is a complete simulated NoC.
 type Network struct {
-	Cfg     config.Config
-	M       *mesh.Mesh
+	Cfg config.Config
+	// M is the fabric and RF its routing function (XY on the mesh,
+	// dateline dimension-order routing on torus and ring).
+	M       topo.Topology
+	RF      topo.RoutingFunction
 	Routers []*router.Router
 	NIs     []*ni.NI
 	Fabric  *core.Fabric // nil unless the scheme uses punch signals
@@ -59,8 +64,8 @@ type Network struct {
 	flitBuf []router.FlitInTransit
 	credBuf []router.Credit
 
-	// nbr caches each node's neighbour in every direction (Invalid at
-	// mesh edges), replacing per-cycle coordinate arithmetic.
+	// nbr caches each node's neighbour in every direction (Invalid where
+	// the fabric has no link), replacing per-cycle coordinate arithmetic.
 	nbr [][mesh.NumPorts]mesh.NodeID
 }
 
@@ -71,7 +76,11 @@ func New(cfg config.Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := mesh.New(cfg.Width, cfg.Height)
+	rf, err := cfg.BuildRouting()
+	if err != nil {
+		return nil, err
+	}
+	m := rf.Topology()
 	nNodes := m.NumNodes()
 
 	acct := power.NewAccountant(nNodes, powerConstants(cfg))
@@ -79,12 +88,13 @@ func New(cfg config.Config) (*Network, error) {
 
 	var fab *core.Fabric
 	if cfg.Scheme.UsesPunch() {
-		fab = core.NewFabric(m, cfg.PunchHops, cfg.PunchStrict, acct)
+		fab = core.NewFabricOn(rf, cfg.PunchHops, cfg.PunchStrict, acct)
 	}
 
 	n := &Network{
 		Cfg:     cfg,
 		M:       m,
+		RF:      rf,
 		Acct:    acct,
 		Col:     col,
 		Fabric:  fab,
@@ -117,7 +127,7 @@ func New(cfg config.Config) (*Network, error) {
 		ctrl.SetAdaptiveThrottle(cfg.AdaptiveThrottle)
 		rid := int(id)
 		ctrl.SetHooks(nil, func() { acct.GatingEvent(rid) })
-		r := router.New(id, m, &n.Cfg, ctrl, acct)
+		r := router.New(id, rf, &n.Cfg, ctrl, acct)
 		n.Routers = append(n.Routers, r)
 		n.NIs = append(n.NIs, ni.New(id, m, &n.Cfg, r, fab, col))
 	}
@@ -157,6 +167,7 @@ func New(cfg config.Config) (*Network, error) {
 		n.Checker = check.New(check.View{
 			Cfg:     &n.Cfg,
 			M:       m,
+			RF:      rf,
 			Routers: n.Routers,
 			NIs:     n.NIs,
 			Fabric:  fab,
@@ -494,7 +505,7 @@ func (n *Network) stepControllers(now int64) {
 		wu := n.NIs[i].WantsWakeup()
 		if !wu {
 			for _, d := range mesh.LinkDirections {
-				nb := n.M.Neighbor(r.ID, d)
+				nb := n.nbr[r.ID][d]
 				if nb == mesh.Invalid {
 					continue
 				}

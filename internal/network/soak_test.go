@@ -43,43 +43,57 @@ func TestSoakLongRun(t *testing.T) {
 }
 
 // TestSoakWithChecks is the tier-2 gate variant (Makefile `check`,
-// `go test -short -run Soak`): every scheme on an 8x8 mesh with the
-// full invariant engine sweeping every cycle, sized to stay fast enough
-// for -short. The long randomized run above stresses duration; this one
-// stresses invariant coverage under concurrent schemes.
+// `go test -short -run Soak`): every scheme on every fabric — 8x8 mesh,
+// 4x4 torus, 8-node ring — with the full invariant engine sweeping
+// every cycle (including the dateline-legality invariant on the wrapped
+// fabrics), sized to stay fast enough for -short. The long randomized
+// run above stresses duration; this one stresses invariant coverage
+// under concurrent schemes and topologies.
 func TestSoakWithChecks(t *testing.T) {
-	for _, s := range config.Schemes {
-		s := s
-		t.Run(s.String(), func(t *testing.T) {
-			t.Parallel()
-			cfg := config.Default()
-			cfg.Scheme = s
-			cfg.WarmupCycles = 0
-			cfg.MeasureCycles = 1 << 40
-			cfg.Checks = true
-			cfg.CheckInterval = 1
-			n := mustNew(t, cfg)
-			violated := false
-			n.OnViolation = func(a *check.Artifact) {
-				violated = true
-				t.Errorf("%v: %v", s, &a.Violation)
-			}
-			d := &randomDriver{rng: rand.New(rand.NewSource(99)), rate: 0.012, until: 6_000}
-			for cyc := 0; cyc < 6_000 && !violated; cyc++ {
-				d.Tick(n, n.Now())
-				n.Step()
-			}
-			for cyc := 0; cyc < 20_000 && !n.Quiesced(); cyc++ {
-				n.Step()
-			}
-			if !n.Quiesced() {
-				t.Fatal("checked soak did not quiesce")
-			}
-			for _, p := range d.pkts {
-				if p.EjectedAt == 0 {
-					t.Fatalf("checked soak lost packet %v", p)
+	fabrics := []struct {
+		topo          string
+		width, height int
+	}{
+		{"mesh", 8, 8},
+		{"torus", 4, 4},
+		{"ring", 8, 1},
+	}
+	for _, fab := range fabrics {
+		for _, s := range config.Schemes {
+			fab, s := fab, s
+			t.Run(fab.topo+"/"+s.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := config.Default()
+				cfg.Scheme = s
+				cfg.Topology = fab.topo
+				cfg.Width, cfg.Height = fab.width, fab.height
+				cfg.WarmupCycles = 0
+				cfg.MeasureCycles = 1 << 40
+				cfg.Checks = true
+				cfg.CheckInterval = 1
+				n := mustNew(t, cfg)
+				violated := false
+				n.OnViolation = func(a *check.Artifact) {
+					violated = true
+					t.Errorf("%v/%v: %v", fab.topo, s, &a.Violation)
 				}
-			}
-		})
+				d := &randomDriver{rng: rand.New(rand.NewSource(99)), rate: 0.012, until: 6_000}
+				for cyc := 0; cyc < 6_000 && !violated; cyc++ {
+					d.Tick(n, n.Now())
+					n.Step()
+				}
+				for cyc := 0; cyc < 20_000 && !n.Quiesced(); cyc++ {
+					n.Step()
+				}
+				if !n.Quiesced() {
+					t.Fatal("checked soak did not quiesce")
+				}
+				for _, p := range d.pkts {
+					if p.EjectedAt == 0 {
+						t.Fatalf("checked soak lost packet %v", p)
+					}
+				}
+			})
+		}
 	}
 }

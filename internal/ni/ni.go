@@ -17,6 +17,7 @@ import (
 	"powerpunch/internal/mesh"
 	"powerpunch/internal/router"
 	"powerpunch/internal/stats"
+	"powerpunch/internal/topo"
 )
 
 // openInjection tracks a packet whose flits are partially injected.
@@ -40,7 +41,7 @@ type futureMessage struct {
 type NI struct {
 	Node mesh.NodeID
 	cfg  *config.Config
-	m    *mesh.Mesh
+	m    topo.Topology
 	r    *router.Router
 	fab  *core.Fabric // nil unless a Power Punch scheme is active
 	col  *stats.Collector
@@ -86,7 +87,7 @@ type NI struct {
 
 // New returns the NI for node id attached to router r. fab may be nil
 // (non-punch schemes); col must be non-nil.
-func New(id mesh.NodeID, m *mesh.Mesh, cfg *config.Config, r *router.Router, fab *core.Fabric, col *stats.Collector) *NI {
+func New(id mesh.NodeID, m topo.Topology, cfg *config.Config, r *router.Router, fab *core.Fabric, col *stats.Collector) *NI {
 	numVCs := r.NumVCs()
 	n := &NI{
 		Node:    id,

@@ -10,6 +10,7 @@ import (
 	"powerpunch/internal/pg"
 	"powerpunch/internal/router"
 	"powerpunch/internal/stats"
+	"powerpunch/internal/topo"
 )
 
 // rig is a single node (router + NI) harness; the router's output pipes
@@ -29,14 +30,15 @@ func newRig(t *testing.T, scheme config.Scheme) *rig {
 	cfg.Scheme = scheme
 	cfg.Width, cfg.Height = 4, 4
 	m := mesh.New(4, 4)
+	rf := topo.Routing(topo.FromMesh(m))
 	ctrl := pg.New(scheme.UsesPowerGating(), 4, cfg.WakeupLatency, cfg.BreakEven)
-	r := router.New(5, m, &cfg, ctrl, nil)
+	r := router.New(5, rf, &cfg, ctrl, nil)
 	col := stats.New(0, 0)
 	var fab *core.Fabric
 	if scheme.UsesPunch() {
 		fab = core.NewFabric(m, cfg.PunchHops, false, nil)
 	}
-	n := New(5, m, &cfg, r, fab, col)
+	n := New(5, topo.FromMesh(m), &cfg, r, fab, col)
 	return &rig{cfg: cfg, m: m, r: r, ni: n, fab: fab, col: col}
 }
 

@@ -17,7 +17,7 @@ import (
 	"powerpunch/internal/mesh"
 	"powerpunch/internal/pg"
 	"powerpunch/internal/power"
-	"powerpunch/internal/routing"
+	"powerpunch/internal/topo"
 )
 
 // Credit is the upstream flow-control token: one buffer slot freed in
@@ -99,11 +99,11 @@ func (op *OutputPort) Credits(v int) int { return op.credits[v] }
 // VC holding downstream VC v of this output port, or -1 when free.
 func (op *OutputPort) Owner(v int) int { return op.owner[v] }
 
-// Router is one mesh router.
+// Router is one fabric router.
 type Router struct {
 	ID   mesh.NodeID
 	cfg  *config.Config
-	m    *mesh.Mesh
+	rf   topo.RoutingFunction
 	Ctrl *pg.Controller
 
 	in   [mesh.NumPorts]*InputPort
@@ -111,6 +111,7 @@ type Router struct {
 	acct *power.Accountant
 
 	numVCs   int // per port
+	classes  int // dateline VC classes of the routing function (1 or 2)
 	buffered int // total flits buffered (fast idle check)
 	swRR     [mesh.NumPorts]int
 	trouter  int64
@@ -137,15 +138,16 @@ type Router struct {
 // created here with the configured link latency; the network wires them
 // to neighbors. ctrl must be non-nil (use a disabled controller for the
 // No-PG baseline). acct may be nil.
-func New(id mesh.NodeID, m *mesh.Mesh, cfg *config.Config, ctrl *pg.Controller, acct *power.Accountant) *Router {
+func New(id mesh.NodeID, rf topo.RoutingFunction, cfg *config.Config, ctrl *pg.Controller, acct *power.Accountant) *Router {
 	numVCs := int(flit.NumVirtualNetworks) * cfg.VCsPerVN()
 	r := &Router{
 		ID:      id,
 		cfg:     cfg,
-		m:       m,
+		rf:      rf,
 		Ctrl:    ctrl,
 		acct:    acct,
 		numVCs:  numVCs,
+		classes: rf.VCClasses(),
 		trouter: int64(cfg.RouterCycles()),
 	}
 	r.occ = make([]uint64, (mesh.NumPorts*numVCs+63)/64)
@@ -168,7 +170,7 @@ func New(id mesh.NodeID, m *mesh.Mesh, cfg *config.Config, ctrl *pg.Controller, 
 			owner:    make([]int, numVCs),
 		}
 		if dir != mesh.Local {
-			op.neighbor = m.Neighbor(id, dir)
+			op.neighbor = rf.Topology().Neighbor(id, dir)
 		}
 		for v := range op.credits {
 			if dir == mesh.Local {
@@ -468,8 +470,10 @@ func (r *Router) stepVA(now int64) {
 			continue // body/tail follow the established route
 		}
 		if !v.routed {
-			// Route computation (look-ahead: available on arrival).
-			v.outDir = routing.XY(r.m, r.ID, f.Dst())
+			// Route computation (look-ahead: available on arrival). A
+			// routing error here means a corrupted destination — a
+			// programming error, surfaced as the typed *topo.RouteError.
+			v.outDir = topo.MustRoute(r.rf, r.ID, f.Dst())
 			v.routed = true
 			v.blockedOnce = false
 		}
@@ -502,7 +506,7 @@ func (r *Router) stepVARef(now int64) {
 			}
 			if !v.routed {
 				// Route computation (look-ahead: available on arrival).
-				v.outDir = routing.XY(r.m, r.ID, f.Dst())
+				v.outDir = topo.MustRoute(r.rf, r.ID, f.Dst())
 				v.routed = true
 				v.blockedOnce = false
 			}
@@ -523,7 +527,11 @@ func (r *Router) stepVARef(now int64) {
 
 // allocVC tries to allocate a downstream VC at output port op for packet
 // head f arriving on (port, vcIdx). Data packets use data VCs; control
-// packets prefer the control VC and fall back to data VCs.
+// packets prefer the control VC and fall back to data VCs. On fabrics
+// with wrap links (torus, ring) inter-router outputs are additionally
+// restricted to the packet's dateline VC class, which is what breaks
+// the ring's channel-dependency cycle (see topo.RoutingFunction.ClassFor);
+// ejection through the Local port is never class-restricted.
 func (r *Router) allocVC(op *OutputPort, f *flit.Flit, port, vcIdx int) (bool, int) {
 	perVN := r.cfg.VCsPerVN()
 	base := int(f.Packet.VN) * perVN
@@ -537,6 +545,23 @@ func (r *Router) allocVC(op *OutputPort, f *flit.Flit, port, vcIdx int) (bool, i
 			}
 		}
 		return false, -1
+	}
+
+	if r.classes > 1 && op.dir != mesh.Local {
+		cls := r.rf.ClassFor(r.ID, f.Dst(), op.dir)
+		if r.cfg.Faults.InvertDatelineClass {
+			cls = 1 - cls
+		}
+		dlo, dhi := r.cfg.DataVCClassRange(cls)
+		if f.Packet.Kind == flit.KindData {
+			return tryRange(base+dlo, base+dhi)
+		}
+		// Control packet: the class's control VCs first, then its data VCs.
+		clo, chi := r.cfg.CtrlVCClassRange(cls)
+		if ok, v := tryRange(base+clo, base+chi); ok {
+			return true, v
+		}
+		return tryRange(base+dlo, base+dhi)
 	}
 
 	if f.Packet.Kind == flit.KindData {

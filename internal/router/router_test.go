@@ -7,6 +7,7 @@ import (
 	"powerpunch/internal/flit"
 	"powerpunch/internal/mesh"
 	"powerpunch/internal/pg"
+	"powerpunch/internal/topo"
 )
 
 func testCfg() config.Config {
@@ -20,7 +21,7 @@ func newRouter(t *testing.T, id mesh.NodeID, cfg *config.Config) *Router {
 	t.Helper()
 	m := mesh.New(cfg.Width, cfg.Height)
 	ctrl := pg.New(false, 2, 1, 0)
-	return New(id, m, cfg, ctrl, nil)
+	return New(id, topo.Routing(topo.FromMesh(m)), cfg, ctrl, nil)
 }
 
 func mkPacket(id uint64, src, dst mesh.NodeID, size int) *flit.Packet {
@@ -210,7 +211,7 @@ func TestGatedRouterDoesNothing(t *testing.T) {
 	cfg.Scheme = config.ConvOptPG
 	m := mesh.New(cfg.Width, cfg.Height)
 	ctrl := pg.New(true, 2, 8, 10)
-	r := New(5, m, &cfg, ctrl, nil)
+	r := New(5, topo.Routing(topo.FromMesh(m)), &cfg, ctrl, nil)
 	// Gate the controller.
 	for i := 0; i < 5; i++ {
 		ctrl.Step(pg.Inputs{Empty: true})

@@ -46,7 +46,9 @@ func NextHop(m *mesh.Mesh, cur, dst mesh.NodeID) mesh.NodeID {
 	if n == mesh.Invalid {
 		// XY on a mesh can never route off an edge; this is a corrupted
 		// destination and a programming error.
-		panic(fmt.Sprintf("routing: XY step from %d toward %d leaves the mesh", cur, dst))
+		cc, dc := m.CoordOf(cur), m.CoordOf(dst)
+		panic(fmt.Sprintf("routing: XY step %v from node %d (%d,%d) toward node %d (%d,%d) leaves the %s",
+			d, cur, cc.X, cc.Y, dst, dc.X, dc.Y, m))
 	}
 	return n
 }

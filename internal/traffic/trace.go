@@ -10,6 +10,7 @@ import (
 	"powerpunch/internal/flit"
 	"powerpunch/internal/mesh"
 	"powerpunch/internal/network"
+	"powerpunch/internal/topo"
 )
 
 // Event is one recorded message submission. Traces let a workload —
@@ -96,9 +97,9 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
-// Validate checks the trace against a mesh: events in cycle order,
-// endpoints on the mesh, sane sizes.
-func (t *Trace) Validate(m *mesh.Mesh) error {
+// Validate checks the trace against a topology: events in cycle order,
+// endpoints on the fabric, sane sizes.
+func (t *Trace) Validate(m topo.Topology) error {
 	var prev int64
 	for i, e := range t.Events {
 		if e.Now < prev {

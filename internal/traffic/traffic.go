@@ -12,13 +12,14 @@ import (
 	"powerpunch/internal/flit"
 	"powerpunch/internal/mesh"
 	"powerpunch/internal/network"
+	"powerpunch/internal/topo"
 )
 
 // Pattern maps a source node to a destination node.
 type Pattern interface {
 	// Dst returns the destination for a packet injected at src. It may
 	// consult rng (uniform/hotspot) or be deterministic (permutations).
-	Dst(m *mesh.Mesh, src mesh.NodeID, rng *rand.Rand) mesh.NodeID
+	Dst(t topo.Topology, src mesh.NodeID, rng *rand.Rand) mesh.NodeID
 	// Name returns the pattern's conventional name.
 	Name() string
 }
@@ -31,8 +32,8 @@ type UniformRandom struct{}
 func (UniformRandom) Name() string { return "uniform" }
 
 // Dst implements Pattern.
-func (UniformRandom) Dst(m *mesh.Mesh, src mesh.NodeID, rng *rand.Rand) mesh.NodeID {
-	n := m.NumNodes()
+func (UniformRandom) Dst(t topo.Topology, src mesh.NodeID, rng *rand.Rand) mesh.NodeID {
+	n := t.NumNodes()
 	d := mesh.NodeID(rng.Intn(n - 1))
 	if d >= src {
 		d++
@@ -47,11 +48,11 @@ type Transpose struct{}
 func (Transpose) Name() string { return "transpose" }
 
 // Dst implements Pattern.
-func (Transpose) Dst(m *mesh.Mesh, src mesh.NodeID, _ *rand.Rand) mesh.NodeID {
-	c := m.CoordOf(src)
+func (Transpose) Dst(t topo.Topology, src mesh.NodeID, _ *rand.Rand) mesh.NodeID {
+	c := t.CoordOf(src)
 	// For non-square meshes, mirror within bounds.
-	d := mesh.Coord{X: c.Y % m.Width(), Y: c.X % m.Height()}
-	return m.NodeAt(d)
+	d := mesh.Coord{X: c.Y % t.Width(), Y: c.X % t.Height()}
+	return t.NodeAt(d)
 }
 
 // BitComplement sends node (x, y) to (W-1-x, H-1-y).
@@ -61,9 +62,9 @@ type BitComplement struct{}
 func (BitComplement) Name() string { return "bit-complement" }
 
 // Dst implements Pattern.
-func (BitComplement) Dst(m *mesh.Mesh, src mesh.NodeID, _ *rand.Rand) mesh.NodeID {
-	c := m.CoordOf(src)
-	return m.NodeAt(mesh.Coord{X: m.Width() - 1 - c.X, Y: m.Height() - 1 - c.Y})
+func (BitComplement) Dst(t topo.Topology, src mesh.NodeID, _ *rand.Rand) mesh.NodeID {
+	c := t.CoordOf(src)
+	return t.NodeAt(mesh.Coord{X: t.Width() - 1 - c.X, Y: t.Height() - 1 - c.Y})
 }
 
 // Tornado sends node (x, y) to ((x + W/2 - 1) mod W, y), stressing one
@@ -74,13 +75,13 @@ type Tornado struct{}
 func (Tornado) Name() string { return "tornado" }
 
 // Dst implements Pattern.
-func (Tornado) Dst(m *mesh.Mesh, src mesh.NodeID, _ *rand.Rand) mesh.NodeID {
-	c := m.CoordOf(src)
-	shift := m.Width()/2 - 1
+func (Tornado) Dst(t topo.Topology, src mesh.NodeID, _ *rand.Rand) mesh.NodeID {
+	c := t.CoordOf(src)
+	shift := t.Width()/2 - 1
 	if shift < 1 {
 		shift = 1
 	}
-	return m.NodeAt(mesh.Coord{X: (c.X + shift) % m.Width(), Y: c.Y})
+	return t.NodeAt(mesh.Coord{X: (c.X + shift) % t.Width(), Y: c.Y})
 }
 
 // Neighbor sends each packet one hop east (wrapping), a minimal-distance
@@ -91,9 +92,9 @@ type Neighbor struct{}
 func (Neighbor) Name() string { return "neighbor" }
 
 // Dst implements Pattern.
-func (Neighbor) Dst(m *mesh.Mesh, src mesh.NodeID, _ *rand.Rand) mesh.NodeID {
-	c := m.CoordOf(src)
-	return m.NodeAt(mesh.Coord{X: (c.X + 1) % m.Width(), Y: c.Y})
+func (Neighbor) Dst(t topo.Topology, src mesh.NodeID, _ *rand.Rand) mesh.NodeID {
+	c := t.CoordOf(src)
+	return t.NodeAt(mesh.Coord{X: (c.X + 1) % t.Width(), Y: c.Y})
 }
 
 // Hotspot sends a fraction of traffic to a fixed hotspot node and the
@@ -107,11 +108,11 @@ type Hotspot struct {
 func (h Hotspot) Name() string { return fmt.Sprintf("hotspot(%d,%.2f)", h.Node, h.Frac) }
 
 // Dst implements Pattern.
-func (h Hotspot) Dst(m *mesh.Mesh, src mesh.NodeID, rng *rand.Rand) mesh.NodeID {
+func (h Hotspot) Dst(t topo.Topology, src mesh.NodeID, rng *rand.Rand) mesh.NodeID {
 	if src != h.Node && rng.Float64() < h.Frac {
 		return h.Node
 	}
-	return (UniformRandom{}).Dst(m, src, rng)
+	return (UniformRandom{}).Dst(t, src, rng)
 }
 
 // ByName returns the pattern with the given conventional name.

@@ -9,10 +9,11 @@ import (
 	"powerpunch/internal/config"
 	"powerpunch/internal/mesh"
 	"powerpunch/internal/network"
+	"powerpunch/internal/topo"
 )
 
 func TestPermutationPatternsAreDeterministic(t *testing.T) {
-	m := mesh.New(8, 8)
+	m := topo.FromMesh(mesh.New(8, 8))
 	for _, p := range []Pattern{Transpose{}, BitComplement{}, Tornado{}, Neighbor{}} {
 		for src := mesh.NodeID(0); m.Contains(src); src++ {
 			d1 := p.Dst(m, src, nil)
@@ -28,7 +29,7 @@ func TestPermutationPatternsAreDeterministic(t *testing.T) {
 }
 
 func TestTransposeMirrorsCoordinates(t *testing.T) {
-	m := mesh.New(8, 8)
+	m := topo.FromMesh(mesh.New(8, 8))
 	// Node (x=5,y=2) = 21 -> (x=2,y=5) = 42.
 	if got := (Transpose{}).Dst(m, 21, nil); got != 42 {
 		t.Errorf("transpose(21) = %d, want 42", got)
@@ -40,7 +41,7 @@ func TestTransposeMirrorsCoordinates(t *testing.T) {
 }
 
 func TestBitComplementIsInvolution(t *testing.T) {
-	m := mesh.New(8, 8)
+	m := topo.FromMesh(mesh.New(8, 8))
 	f := func(raw uint8) bool {
 		src := mesh.NodeID(int(raw) % m.NumNodes())
 		p := BitComplement{}
@@ -55,7 +56,7 @@ func TestBitComplementIsInvolution(t *testing.T) {
 }
 
 func TestUniformNeverSelfSends(t *testing.T) {
-	m := mesh.New(4, 4)
+	m := topo.FromMesh(mesh.New(4, 4))
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 2000; i++ {
 		src := mesh.NodeID(i % 16)
@@ -66,7 +67,7 @@ func TestUniformNeverSelfSends(t *testing.T) {
 }
 
 func TestUniformCoversAllDestinations(t *testing.T) {
-	m := mesh.New(4, 4)
+	m := topo.FromMesh(mesh.New(4, 4))
 	rng := rand.New(rand.NewSource(2))
 	seen := map[mesh.NodeID]bool{}
 	for i := 0; i < 5000; i++ {
@@ -78,7 +79,7 @@ func TestUniformCoversAllDestinations(t *testing.T) {
 }
 
 func TestHotspotBias(t *testing.T) {
-	m := mesh.New(4, 4)
+	m := topo.FromMesh(mesh.New(4, 4))
 	rng := rand.New(rand.NewSource(3))
 	h := Hotspot{Node: 5, Frac: 0.5}
 	hits := 0

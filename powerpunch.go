@@ -1,7 +1,7 @@
 // Package powerpunch is the public API of this repository: a
-// cycle-accurate 2D-mesh network-on-chip simulator with router
-// power-gating and the Power Punch non-blocking power-gating scheme of
-// Chen, Zhu, Pedram and Pinkston (HPCA 2015).
+// cycle-accurate network-on-chip simulator (2D mesh, torus, and ring
+// fabrics) with router power-gating and the Power Punch non-blocking
+// power-gating scheme of Chen, Zhu, Pedram and Pinkston (HPCA 2015).
 //
 // The package re-exports the stable surface of the internal packages:
 // configuration, network construction, synthetic and full-system
@@ -30,6 +30,7 @@ import (
 	"powerpunch/internal/mesh"
 	"powerpunch/internal/network"
 	"powerpunch/internal/parsec"
+	"powerpunch/internal/topo"
 	"powerpunch/internal/traffic"
 )
 
@@ -125,6 +126,18 @@ type PunchChannelEncoding = core.ChannelEncoding
 // Directions: 0=N (Y-), 1=S (Y+), 2=E (X+), 3=W (X-).
 func EncodePunchChannel(width, height int, r NodeID, dir int, hops int) *PunchChannelEncoding {
 	return core.EncodeChannel(mesh.New(width, height), r, mesh.Direction(dir), hops)
+}
+
+// EncodePunchChannelOn is EncodePunchChannel for an arbitrary fabric:
+// topology is "mesh", "torus", or "ring" (ring requires height 1). The
+// code book is derived from that fabric's routing function, so torus
+// and ring channels account for wraparound paths.
+func EncodePunchChannelOn(topology string, width, height int, r NodeID, dir int, hops int) (*PunchChannelEncoding, error) {
+	rf, err := topo.Build(topology, width, height)
+	if err != nil {
+		return nil, err
+	}
+	return core.EncodeChannelOn(rf, r, mesh.Direction(dir), hops), nil
 }
 
 // Experiments re-exports the per-figure drivers for programmatic use.
