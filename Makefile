@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race soak check fuzz clean bench bench-check
+.PHONY: build test vet race soak soak-obs api apicheck check fuzz clean bench bench-check
 
 build:
 	$(GO) build ./...
@@ -29,8 +29,29 @@ race:
 soak:
 	$(GO) test -short -run Soak ./internal/network/
 
+# Observability soak: the obs-enabled soak suite — every scheme with
+# counter, sampler, and trace sinks attached and the invariant engine
+# sweeping every cycle — plus the observed-vs-unobserved golden test,
+# under vet and the race detector.
+soak-obs: vet
+	$(GO) test -race -run 'TestSoakObserved|TestObservedRunIsGoldenIdentical' ./internal/network/
+
+# Public API surface lock: API.txt is the committed `go doc -all .`
+# golden. After a deliberate surface change, run `make api` and commit
+# the diff; `make apicheck` fails when the exported surface drifts
+# without the golden moving with it.
+api: build
+	$(GO) doc -all . > API.txt
+
+apicheck: build
+	@$(GO) doc -all . > /tmp/api_new.txt; \
+	if ! diff -u API.txt /tmp/api_new.txt; then \
+		echo "apicheck: exported API drifted from API.txt (run 'make api' and commit if intended)"; \
+		exit 1; \
+	fi
+
 # Tier-2: everything above plus the benchmark regression gate.
-check: vet test race soak bench-check
+check: vet test race soak soak-obs apicheck bench-check
 
 # Benchmark baseline maintenance. `make bench` runs the locked tick
 # benchmarks (per scheme and load point, active-set and full-walk, with

@@ -26,6 +26,18 @@
 //
 //	noctrace replay-failure -in /tmp/powerpunch-violation-c123-punch-nonblocking.json
 //
+// Stream the cycle-level observability event trace of a run as JSON
+// lines (optionally filtered by kind), or export the power/activity
+// timeline as CSV/JSONL:
+//
+//	noctrace trace -scheme PowerPunch-PG -rate 0.05 -cycles 5000 -kinds pg_wake,pg_gate,punch_emit
+//	noctrace timeline -scheme ConvOpt-PG -rate 0.02 -cycles 50000 -interval 500 -format csv -out timeline.csv
+//
+// Serve live metrics and profiling endpoints while a long simulation
+// runs (expvar under /debug/vars, pprof under /debug/pprof):
+//
+//	noctrace serve -addr localhost:6060 -scheme PowerPunch-PG -rate 0.02 -cycles 100000000
+//
 // Maintain the benchmark baseline (see `make bench` / `make bench-check`):
 //
 //	go test -run '^$' -bench '^BenchmarkTick' -benchmem . | noctrace bench-json -out BENCH_2026-08-06.json
@@ -51,6 +63,12 @@ func main() {
 		replay(os.Args[2:])
 	case "replay-failure":
 		replayFailure(os.Args[2:])
+	case "trace":
+		traceCmd(os.Args[2:])
+	case "timeline":
+		timelineCmd(os.Args[2:])
+	case "serve":
+		serveCmd(os.Args[2:])
 	case "bench-json":
 		benchJSON(os.Args[2:])
 	case "bench-diff":
@@ -61,7 +79,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: noctrace record|replay|replay-failure|bench-json|bench-diff [flags] (see -h of each)")
+	fmt.Fprintln(os.Stderr, "usage: noctrace record|replay|replay-failure|trace|timeline|serve|bench-json|bench-diff [flags] (see -h of each)")
 	os.Exit(2)
 }
 
@@ -139,15 +157,9 @@ func replay(args []string) {
 	height := fs.Int("height", 8, "fabric height (must be 1 for -topo ring)")
 	_ = fs.Parse(args)
 
-	var s powerpunch.Scheme
-	found := false
-	for _, cand := range powerpunch.Schemes {
-		if cand.String() == *scheme {
-			s, found = cand, true
-		}
-	}
-	if !found {
-		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	s, err := schemeByName(*scheme)
+	if err != nil {
+		fatal(err)
 	}
 
 	f, err := os.Open(*in)

@@ -1,0 +1,272 @@
+// The observability subcommands: stream the cycle-level event trace
+// (`trace`), export a power/activity timeline (`timeline`), and expose
+// live metrics plus profiling endpoints over HTTP (`serve`). All three
+// run a synthetic workload with observer sinks attached via
+// powerpunch.WithObserver.
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"strings"
+	"sync/atomic"
+
+	"powerpunch"
+)
+
+// simFlags is the workload flag block shared by the observability
+// subcommands: scheme, fabric, synthetic pattern, and run length.
+type simFlags struct {
+	scheme  *string
+	pattern *string
+	rate    *float64
+	cycles  *int64
+	warmup  *int64
+	seed    *int64
+	topo    *string
+	width   *int
+	height  *int
+}
+
+func addSimFlags(fs *flag.FlagSet) *simFlags {
+	return &simFlags{
+		scheme:  fs.String("scheme", "PowerPunch-PG", "No-PG|ConvOpt-PG|PowerPunch-Signal|PowerPunch-PG"),
+		pattern: fs.String("pattern", "uniform", "synthetic pattern"),
+		rate:    fs.Float64("rate", 0.02, "offered load, flits/node/cycle"),
+		cycles:  fs.Int64("cycles", 20_000, "measured cycles"),
+		warmup:  fs.Int64("warmup", 0, "warmup cycles before measurement"),
+		seed:    fs.Int64("seed", 1, "seed"),
+		topo:    fs.String("topo", "mesh", "fabric topology: mesh|torus|ring"),
+		width:   fs.Int("width", 8, "fabric width (nodes per row)"),
+		height:  fs.Int("height", 8, "fabric height (rows; must be 1 for -topo ring)"),
+	}
+}
+
+func schemeByName(name string) (powerpunch.Scheme, error) {
+	for _, cand := range powerpunch.Schemes {
+		if cand.String() == name {
+			return cand, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", name)
+}
+
+// build assembles the network (observers attached at construction) and
+// the synthetic driver the flags describe.
+func (sf *simFlags) build(opts ...powerpunch.Option) (*powerpunch.Network, *powerpunch.SyntheticTraffic, error) {
+	s, err := schemeByName(*sf.scheme)
+	if err != nil {
+		return nil, nil, err
+	}
+	pat, err := powerpunch.PatternByName(*sf.pattern)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := powerpunch.DefaultConfig()
+	cfg.Scheme = s
+	cfg.Topology = *sf.topo
+	cfg.Width, cfg.Height = *sf.width, *sf.height
+	cfg.WarmupCycles = *sf.warmup
+	cfg.MeasureCycles = *sf.cycles
+	net, err := powerpunch.NewNetwork(cfg, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, powerpunch.NewSyntheticTraffic(pat, *sf.rate, *sf.seed), nil
+}
+
+// openOut resolves an -out flag: "-" means stdout.
+func openOut(path string) (io.WriteCloser, error) {
+	if path == "-" || path == "" {
+		return os.Stdout, nil
+	}
+	return os.Create(path)
+}
+
+// traceCmd streams the full cycle-level event trace of a run as JSON
+// lines, optionally filtered to a subset of event kinds.
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	sim := addSimFlags(fs)
+	out := fs.String("out", "-", "output JSONL file, - for stdout")
+	kinds := fs.String("kinds", "", "comma-separated event kinds to keep (empty = all): inject,vc_alloc,switch,link,eject,ni_block,pg_stall,pg_gate,pg_wake,pg_active,punch_emit,punch_local,punch_merge,punch_arrive,punch_hold")
+	_ = fs.Parse(args)
+
+	w, err := openOut(*out)
+	if err != nil {
+		fatal(err)
+	}
+	var tw *powerpunch.EventTraceWriter
+	if *kinds == "" {
+		tw = powerpunch.NewEventTraceWriter(w)
+	} else {
+		var ks []powerpunch.ProbeKind
+		for _, name := range strings.Split(*kinds, ",") {
+			k, ok := powerpunch.ProbeKindByName(strings.TrimSpace(name))
+			if !ok {
+				fatal(fmt.Errorf("unknown event kind %q", name))
+			}
+			ks = append(ks, k)
+		}
+		tw = powerpunch.NewFilteredEventTraceWriter(w, ks...)
+	}
+
+	net, drv, err := sim.build(powerpunch.WithObserver(tw))
+	if err != nil {
+		fatal(err)
+	}
+	res := net.Run(drv)
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+	if w != os.Stdout {
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "traced %d events over %d cycles (lat=%.2f, %d packets)\n",
+		tw.Events(), res.Cycles, res.Summary.AvgLatency, res.Summary.Ejected)
+}
+
+// timelineCmd exports the periodic power/activity timeline of a run as
+// CSV or JSONL.
+func timelineCmd(args []string) {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	sim := addSimFlags(fs)
+	out := fs.String("out", "-", "output file, - for stdout")
+	interval := fs.Int64("interval", 100, "sampling window, cycles")
+	format := fs.String("format", "csv", "csv|jsonl")
+	report := fs.Bool("report", false, "also print the counters report to stderr")
+	_ = fs.Parse(args)
+
+	sampler := powerpunch.NewTimelineSampler(*interval)
+	probe := powerpunch.NewCountersProbe()
+	net, drv, err := sim.build(powerpunch.WithObserver(sampler, probe))
+	if err != nil {
+		fatal(err)
+	}
+	res := net.Run(drv)
+
+	w, err := openOut(*out)
+	if err != nil {
+		fatal(err)
+	}
+	switch *format {
+	case "csv":
+		err = sampler.WriteCSV(w)
+	case "jsonl":
+		err = sampler.WriteJSONL(w)
+	default:
+		err = fmt.Errorf("unknown format %q (want csv or jsonl)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if w != os.Stdout {
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d samples over %d cycles (lat=%.2f, hidden=%.2f)\n",
+		len(sampler.Samples()), res.Cycles, res.Summary.AvgLatency, probe.HiddenFraction())
+	if *report {
+		if err := probe.WriteReport(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// liveSnapshot is the JSON document `serve` publishes under the
+// "powerpunch" expvar key, refreshed every snapshot window while the
+// simulation runs on its own goroutine.
+type liveSnapshot struct {
+	Cycle       int64   `json:"cycle"`
+	Running     bool    `json:"running"`
+	Scheme      string  `json:"scheme"`
+	Injected    int64   `json:"injected"`
+	Ejected     int64   `json:"ejected"`
+	AvgLatency  float64 `json:"avg_latency_cycles"`
+	StallCycles int64   `json:"stall_cycles"`
+	Wakeups     int64   `json:"wakeups"`
+	PunchWakes  int64   `json:"punch_wakes"`
+	HiddenFrac  float64 `json:"hidden_fraction"`
+	Gated       int     `json:"gated"`
+	Waking      int     `json:"waking"`
+	Active      int     `json:"active"`
+}
+
+// serveCmd runs the simulation on a background goroutine and serves
+// live metrics (expvar, /debug/vars) and profiling (/debug/pprof) over
+// HTTP until interrupted. The simulation goroutine publishes an
+// immutable snapshot each window; HTTP handlers only ever read the
+// latest published pointer, so the hot loop is never locked.
+func serveCmd(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	sim := addSimFlags(fs)
+	addr := fs.String("addr", "localhost:6060", "HTTP listen address")
+	window := fs.Int64("window", 1000, "snapshot refresh interval, cycles")
+	_ = fs.Parse(args)
+
+	probe := powerpunch.NewCountersProbe()
+	sampler := powerpunch.NewTimelineSampler(*window)
+	net, drv, err := sim.build(powerpunch.WithObserver(probe, sampler))
+	if err != nil {
+		fatal(err)
+	}
+
+	var snap atomic.Pointer[liveSnapshot]
+	snap.Store(&liveSnapshot{Scheme: *sim.scheme, Running: true})
+	publish := func(running bool) {
+		s := &liveSnapshot{
+			Cycle:       net.Now(),
+			Running:     running,
+			Scheme:      *sim.scheme,
+			Injected:    probe.NIQueue.Count,
+			Ejected:     probe.Latency.Count,
+			AvgLatency:  probe.Latency.Mean(),
+			StallCycles: probe.StallCycles,
+			Wakeups:     probe.PunchWakes.Wakeups + probe.ConvWakes.Wakeups,
+			PunchWakes:  probe.PunchWakes.Wakeups,
+			HiddenFrac:  probe.HiddenFraction(),
+		}
+		if all := sampler.Samples(); len(all) > 0 {
+			last := all[len(all)-1]
+			s.Gated, s.Waking, s.Active = last.Gated, last.Waking, last.Active
+		}
+		snap.Store(s)
+	}
+	expvar.Publish("powerpunch", expvar.Func(func() any { return *snap.Load() }))
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		budget := *sim.warmup + *sim.cycles
+		for net.Now() < budget {
+			chunk := budget - net.Now()
+			if chunk > *window {
+				chunk = *window
+			}
+			for i := int64(0); i < chunk; i++ {
+				drv.Tick(net, net.Now())
+				net.Step()
+			}
+			publish(true)
+		}
+		for !net.Quiesced() {
+			net.Step()
+		}
+		publish(false)
+		fmt.Fprintf(os.Stderr, "simulation drained at cycle %d; still serving (ctrl-c to stop)\n", net.Now())
+	}()
+
+	fmt.Fprintf(os.Stderr, "serving live metrics on http://%s/debug/vars (pprof on /debug/pprof)\n", *addr)
+	if err := http.ListenAndServe(*addr, nil); err != nil {
+		fatal(err)
+	}
+	<-done
+}

@@ -18,8 +18,12 @@ import (
 )
 
 func main() {
-	router, dir, hops := 27, 2, 3 // E == 2 in the public direction order N,S,E,W
-	dirNames := map[string]int{"N": 0, "S": 1, "E": 2, "W": 3}
+	router, hops := 27, 3
+	dir := powerpunch.DirE // the paper's Table 1 is the X+ channel
+	dirNames := map[string]powerpunch.Direction{
+		"N": powerpunch.DirN, "S": powerpunch.DirS,
+		"E": powerpunch.DirE, "W": powerpunch.DirW,
+	}
 	if len(os.Args) > 1 {
 		v, err := strconv.Atoi(os.Args[1])
 		if err != nil {
@@ -42,7 +46,11 @@ func main() {
 		hops = v
 	}
 
-	enc := powerpunch.EncodePunchChannel(8, 8, powerpunch.NodeID(router), dir, hops)
+	// The zero TopologySpec is the paper's 8x8 mesh.
+	enc, err := powerpunch.EncodePunchChannel(powerpunch.TopologySpec{}, powerpunch.NodeID(router), dir, hops)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if enc == nil {
 		log.Fatalf("router %d has no %s channel (mesh edge)", router, os.Args[2])
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"powerpunch/internal/mesh"
+	"powerpunch/internal/obs"
 	"powerpunch/internal/power"
 	"powerpunch/internal/topo"
 )
@@ -86,6 +87,10 @@ type Fabric struct {
 	inboxAny bool
 	heldList []mesh.NodeID
 
+	// bus, when non-nil, receives punch emit/local/merge/arrive/hold
+	// events.
+	bus *obs.Bus
+
 	stats FabricStats
 }
 
@@ -119,6 +124,10 @@ func NewFabricOn(rf topo.RoutingFunction, hops int, strict bool, acct *power.Acc
 
 // Hops returns the configured punch hop-count slack.
 func (f *Fabric) Hops() int { return f.hops }
+
+// SetBus attaches an observability bus; a nil bus (the default) keeps
+// the fabric silent.
+func (f *Fabric) SetBus(b *obs.Bus) { f.bus = b }
 
 // SetVerifyEncodable makes the fabric assert, every cycle, that every
 // channel's merged target set appears in that channel's Table-1 code
@@ -187,6 +196,10 @@ func (f *Fabric) EmitSource(cur, dst mesh.NodeID) {
 	f.stats.SourceEmissions++
 	f.pending[cur] = appendUnique(f.pending[cur], t)
 	f.emitted = true
+	if f.bus != nil {
+		f.bus.Emit(obs.Event{Kind: obs.KindPunchEmit, Node: int32(cur),
+			Dst: int32(t), A: int64(dst)})
+	}
 }
 
 // EmitLocal asserts the injection-node punch of PowerPunch-PG's slack 1:
@@ -197,6 +210,9 @@ func (f *Fabric) EmitSource(cur, dst mesh.NodeID) {
 func (f *Fabric) EmitLocal(src, dst mesh.NodeID) {
 	f.localHold[src] = true
 	f.emitted = true
+	if f.bus != nil {
+		f.bus.Emit(obs.Event{Kind: obs.KindPunchLocal, Node: int32(src)})
+	}
 	if src != dst {
 		f.EmitSource(src, dst)
 	}
@@ -208,6 +224,9 @@ func (f *Fabric) EmitLocal(src, dst mesh.NodeID) {
 func (f *Fabric) HoldLocal(n mesh.NodeID) {
 	f.localHold[n] = true
 	f.emitted = true
+	if f.bus != nil {
+		f.bus.Emit(obs.Event{Kind: obs.KindPunchLocal, Node: int32(n)})
+	}
 }
 
 // Step processes one cycle: computes each router's hold level from the
@@ -229,7 +248,11 @@ func (f *Fabric) Step() {
 		relay := func(targets []mesh.NodeID, isRelay bool) {
 			for _, t := range targets {
 				if t == id {
-					continue // absorbed: this router is the target
+					// Absorbed: this router is the target.
+					if isRelay && f.bus != nil {
+						f.bus.Emit(obs.Event{Kind: obs.KindPunchArrive, Node: int32(id)})
+					}
+					continue
 				}
 				d := topo.MustRoute(f.rf, id, t)
 				di := dirIndex(d)
@@ -237,6 +260,12 @@ func (f *Fabric) Step() {
 				f.outbox[node][di] = appendUnique(f.outbox[node][di], t)
 				if isRelay && len(f.outbox[node][di]) > before {
 					f.stats.RelayedTargets++
+				}
+				if f.bus != nil && before > 0 && len(f.outbox[node][di]) > before {
+					// The channel register already carried a target: this
+					// is a Table-1 merge.
+					f.bus.Emit(obs.Event{Kind: obs.KindPunchMerge, Node: int32(id),
+						Dir: int8(mesh.LinkDirections[di]), Dst: int32(t)})
 				}
 			}
 		}
@@ -246,6 +275,9 @@ func (f *Fabric) Step() {
 		relay(f.pending[node], false)
 
 		f.hold[node] = hold
+		if hold && f.bus != nil {
+			f.bus.Emit(obs.Event{Kind: obs.KindPunchHold, Node: int32(id)})
+		}
 	}
 
 	// Deliver: outboxes become neighbours' inboxes for the next cycle.

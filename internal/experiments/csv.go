@@ -46,6 +46,7 @@ func WriteLoadSweepCSV(w io.Writer, points []LoadPoint) error {
 	if err := cw.Write([]string{
 		"pattern", "rate_flits_node_cycle", "scheme",
 		"avg_latency_cycles", "throughput_flits_node_cycle", "static_power_W", "saturated",
+		"ni_queue_cycles", "wakeup_ni_cycles", "wakeup_net_cycles", "transit_cycles",
 	}); err != nil {
 		return err
 	}
@@ -53,6 +54,7 @@ func WriteLoadSweepCSV(w io.Writer, points []LoadPoint) error {
 		if err := cw.Write([]string{
 			p.Pattern, f(p.Rate), p.Scheme.String(),
 			f(p.AvgLatency), f(p.Throughput), e(p.StaticW), strconv.FormatBool(p.Saturated),
+			f(p.NIQueue), f(p.WakeupNI), f(p.WakeupNet), f(p.Transit),
 		}); err != nil {
 			return err
 		}

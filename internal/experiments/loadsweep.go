@@ -18,6 +18,16 @@ type LoadPoint struct {
 	Throughput float64 // delivered flits/node/cycle
 	StaticW    float64 // average router static power (W), incl. overhead
 	Saturated  bool
+
+	// Per-packet stage decomposition of AvgLatency, from
+	// RunResult.Detail (cycles/packet; the four stages sum to
+	// AvgLatency exactly): source-NI queueing, wakeup cycles exposed at
+	// the source NI, wakeup cycles exposed inside the network, and
+	// everything else (routing, switching, link traversal, contention).
+	NIQueue   float64
+	WakeupNI  float64
+	WakeupNet float64
+	Transit   float64
 }
 
 // LoadSweepOptions parameterizes Figure 12.
@@ -105,7 +115,7 @@ func RunLoadSweep(o LoadSweepOptions) ([]LoadPoint, error) {
 		drv := traffic.NewSynthetic(pat, j.rate, o.Seed)
 		res := net.Run(drv)
 		thr := net.Col.Throughput(net.M.NumNodes(), cfg.MeasureCycles)
-		out[i] = LoadPoint{
+		pt := LoadPoint{
 			Pattern:    j.pattern,
 			Rate:       j.rate,
 			Scheme:     j.scheme,
@@ -114,6 +124,14 @@ func RunLoadSweep(o LoadSweepOptions) ([]LoadPoint, error) {
 			StaticW:    res.AvgStaticW,
 			Saturated:  !res.Drained || res.Summary.AvgLatency > 150,
 		}
+		if st := res.Detail.Stages; st.Packets > 0 {
+			n := float64(st.Packets)
+			pt.NIQueue = float64(st.NIQueueCycles) / n
+			pt.WakeupNI = float64(st.WakeupNICycles) / n
+			pt.WakeupNet = float64(st.WakeupNetCycles) / n
+			pt.Transit = float64(st.TransitCycles) / n
+		}
+		out[i] = pt
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,99 @@
+package network
+
+// DetailVersion identifies the RunDetail JSON schema. Bump it only
+// with a deliberate format change; consumers key on it.
+const DetailVersion = 1
+
+// StageBreakdown decomposes the total packet latency of a run into
+// pipeline stages, in exact integer cycles: summed over every measured
+// ejected packet,
+//
+//	LatencyCycles == NIQueueCycles + WakeupNICycles +
+//	                 WakeupNetCycles + TransitCycles
+//
+// holds exactly (no float rounding), and
+// LatencyCycles / Packets == Summary.AvgLatency. The two wakeup terms
+// reproduce the paper's §6 observation that conventional gating's
+// latency penalty is wakeup exposure: WakeupNICycles were spent at the
+// source NI blocked on a gated/waking local router, WakeupNetCycles
+// inside the network stalled on gated/waking downstream routers.
+type StageBreakdown struct {
+	Packets         int64 `json:"packets"`           // measured packets ejected
+	LatencyCycles   int64 `json:"latency_cycles"`    // Σ creation → ejection
+	NIQueueCycles   int64 `json:"ni_queue_cycles"`   // NI pipeline + queueing, excl. wakeup blocks
+	WakeupNICycles  int64 `json:"wakeup_ni_cycles"`  // wakeup waits at the source NI
+	WakeupNetCycles int64 `json:"wakeup_net_cycles"` // wakeup waits inside the network
+	TransitCycles   int64 `json:"transit_cycles"`    // in-network time minus wakeup waits
+}
+
+// PGBreakdown aggregates the power-gating controllers' activity over
+// the run (sums over all routers).
+type PGBreakdown struct {
+	GatingEvents  int64 `json:"gating_events"`
+	GatedCycles   int64 `json:"gated_cycles"`
+	WakingCycles  int64 `json:"waking_cycles"`
+	ShortGatings  int64 `json:"short_gatings"` // gated periods under the break-even time
+	WakeupsPunch  int64 `json:"wakeups_punch"` // wakes triggered by punch signals
+	WakeupsWU     int64 `json:"wakeups_wu"`    // wakes triggered by the WU handshake
+	SleepsBlocked int64 `json:"sleeps_blocked"`
+	StallCycles   int64 `json:"stall_cycles"` // router-side PG stall cycles (flit-cycles)
+}
+
+// PunchBreakdown aggregates punch-fabric activity (zero for schemes
+// without punch signals).
+type PunchBreakdown struct {
+	SourceEmissions int64 `json:"source_emissions"`
+	RelayedTargets  int64 `json:"relayed_targets"`
+	ChannelCycles   int64 `json:"channel_cycles"`
+	StrictDrops     int64 `json:"strict_drops"`
+}
+
+// RunDetail is the versioned, JSON-stable detail section of a
+// RunResult: the exact latency stage decomposition plus power-gating
+// and punch-fabric activity. It is a flat comparable value (tests
+// compare whole RunResults with ==) and is always populated — the
+// inputs are counters the simulation maintains anyway.
+type RunDetail struct {
+	Version int            `json:"version"`
+	Stages  StageBreakdown `json:"stages"`
+	PG      PGBreakdown    `json:"pg"`
+	Punch   PunchBreakdown `json:"punch"`
+}
+
+// detail assembles the RunDetail from the run's collectors. Call only
+// after SyncInspection/syncAll (result does).
+func (n *Network) detail() RunDetail {
+	st := n.Col.Stages()
+	d := RunDetail{
+		Version: DetailVersion,
+		Stages: StageBreakdown{
+			Packets:         st.Packets,
+			LatencyCycles:   st.Latency,
+			NIQueueCycles:   st.NIWait - st.WakeupWaitNI,
+			WakeupNICycles:  st.WakeupWaitNI,
+			WakeupNetCycles: st.WakeupWait - st.WakeupWaitNI,
+			TransitCycles:   st.Latency - st.NIWait - (st.WakeupWait - st.WakeupWaitNI),
+		},
+	}
+	for _, r := range n.Routers {
+		cs := r.Ctrl.Stats()
+		d.PG.GatingEvents += cs.GatingEvents
+		d.PG.GatedCycles += cs.GatedCycles
+		d.PG.WakingCycles += cs.WakingCycles
+		d.PG.ShortGatings += cs.ShortGatings
+		d.PG.WakeupsPunch += cs.WakeupsPunch
+		d.PG.WakeupsWU += cs.WakeupsWU
+		d.PG.SleepsBlocked += cs.SleepsBlocked
+		d.PG.StallCycles += r.PGStallCycles
+	}
+	if n.Fabric != nil {
+		fs := n.Fabric.Stats()
+		d.Punch = PunchBreakdown{
+			SourceEmissions: fs.SourceEmissions,
+			RelayedTargets:  fs.RelayedTargets,
+			ChannelCycles:   fs.ChannelCycles,
+			StrictDrops:     fs.StrictDrops,
+		}
+	}
+	return d
+}

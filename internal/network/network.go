@@ -16,6 +16,7 @@ import (
 	"powerpunch/internal/flit"
 	"powerpunch/internal/mesh"
 	"powerpunch/internal/ni"
+	"powerpunch/internal/obs"
 	"powerpunch/internal/pg"
 	"powerpunch/internal/power"
 	"powerpunch/internal/router"
@@ -46,6 +47,12 @@ type Network struct {
 
 	now    int64
 	pktSeq uint64
+
+	// bus is the observability event bus, nil until Observe attaches a
+	// sink. With a bus attached the scheduler keeps nodes live while
+	// their PG controllers are mid-transition (see scheduler.quiescent)
+	// so every gate/wake event is emitted at its true cycle.
+	bus *obs.Bus
 
 	// sched is the active-set tick scheduler (see sched.go); nil under
 	// Cfg.FullTick, where Step walks every node — the seed behaviour kept
@@ -245,6 +252,9 @@ func (n *Network) Step() {
 // Kept as the differential-testing reference for the active-set path.
 func (n *Network) stepFull() {
 	now := n.now
+	if n.bus != nil {
+		n.bus.SetNow(now)
+	}
 
 	// 1. Deliver everything arriving this cycle (latched from earlier).
 	for _, r := range n.Routers {
@@ -297,6 +307,9 @@ func (n *Network) stepFull() {
 		}
 	}
 
+	if n.bus != nil {
+		n.bus.EndCycle()
+	}
 	n.now = now + 1
 }
 
@@ -310,6 +323,9 @@ func (n *Network) stepFull() {
 func (n *Network) stepActive() {
 	now := n.now
 	s := n.sched
+	if n.bus != nil {
+		n.bus.SetNow(now)
+	}
 
 	// Arm nodes the driver submitted work to since the last cycle.
 	s.flush(now)
@@ -386,6 +402,9 @@ func (n *Network) stepActive() {
 	}
 
 	s.endCycle(now)
+	if n.bus != nil {
+		n.bus.EndCycle()
+	}
 	n.now = now + 1
 }
 
@@ -725,7 +744,9 @@ type Driver interface {
 	Done() bool
 }
 
-// RunResult summarizes a complete simulation run.
+// RunResult summarizes a complete simulation run. Detail carries the
+// versioned per-stage decomposition (see RunDetail); the whole struct
+// is a flat comparable value, so runs can be compared with ==.
 type RunResult struct {
 	Cycles       int64
 	Summary      stats.Summary
@@ -734,6 +755,7 @@ type RunResult struct {
 	StaticSaved  float64
 	Drained      bool
 	GatingEvents int64
+	Detail       RunDetail
 }
 
 // Run executes the standard windowed experiment: warmup, measurement
@@ -800,5 +822,6 @@ func (n *Network) result(drained bool) RunResult {
 		StaticSaved:  n.Acct.StaticSavedFrac(),
 		Drained:      drained,
 		GatingEvents: gatings,
+		Detail:       n.detail(),
 	}
 }

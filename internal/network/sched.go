@@ -209,6 +209,14 @@ func (s *scheduler) quiescent(i int32) bool {
 	if !r.Empty() || n.NIs[i].Busy() {
 		return false
 	}
+	if n.bus != nil && !r.Ctrl.Parked() {
+		// An observability bus is attached: keep the node live until its
+		// controller reaches a fixed point, so every gate/wake/active
+		// transition is emitted at its true cycle instead of being
+		// replayed silently inside catch-up. Live stepping computes
+		// bit-identical state to catch-up; only event timing needs this.
+		return false
+	}
 	if n.Fabric != nil && n.Fabric.Hold(mesh.NodeID(i)) {
 		return false
 	}

@@ -15,6 +15,7 @@ import (
 	"powerpunch/internal/core"
 	"powerpunch/internal/flit"
 	"powerpunch/internal/mesh"
+	"powerpunch/internal/obs"
 	"powerpunch/internal/router"
 	"powerpunch/internal/stats"
 	"powerpunch/internal/topo"
@@ -72,6 +73,9 @@ type NI struct {
 	// recycles openInjection records alongside it.
 	pool     *flit.Pool
 	openFree []*openInjection
+
+	// bus, when non-nil, receives inject/eject/NI-block events.
+	bus *obs.Bus
 
 	asm [][]*flit.Flit // ejection reassembly per local-output VC
 
@@ -148,6 +152,10 @@ func (n *NI) Generate(p *flit.Packet, now int64) {
 // it fires on every SubmitDelayed/Generate so externally-submitted work
 // can never be missed (injections are never droppable re-arm events).
 func (n *NI) SetActivityHook(fn func()) { n.activityHook = fn }
+
+// SetBus attaches an observability bus; a nil bus (the default) keeps
+// the NI silent.
+func (n *NI) SetBus(b *obs.Bus) { n.bus = b }
 
 // SetPool installs a flit pool for the allocation-free injection path.
 // Must only be used when no other component retains flit pointers past
@@ -255,16 +263,22 @@ func (n *NI) StepInject(now int64) {
 	if !n.r.Ctrl.IsOn() {
 		// The local router is gated or waking: every injection-ready
 		// packet at the head of its VN queue is blocked by power gating.
+		blocked := int64(0)
 		for vn := range n.readyQ {
 			if len(n.readyQ[vn]) == 0 {
 				continue
 			}
 			p := n.readyQ[vn][0]
 			p.WakeupWait++
+			p.WakeupWaitNI++
+			blocked++
 			if !p.CountedNIBlock {
 				p.CountedNIBlock = true
 				p.BlockedRouters++
 			}
+		}
+		if blocked > 0 && n.bus != nil {
+			n.bus.Emit(obs.Event{Kind: obs.KindNIBlock, Node: int32(n.Node), A: blocked})
 		}
 		return
 	}
@@ -297,6 +311,11 @@ func (n *NI) StepInject(now int64) {
 		p.InjectedAt = now
 		n.col.PacketInjected(p)
 		n.Injected++
+		if n.bus != nil {
+			n.bus.Emit(obs.Event{Kind: obs.KindInject, Node: int32(n.Node),
+				VC: int16(p.VN), Pkt: p.ID, Src: int32(p.Src), Dst: int32(p.Dst),
+				A: now - p.CreatedAt})
+		}
 		q := n.readyQ[vn]
 		n.readyQ[vn] = q[:copy(q, q[1:])] // capacity-preserving pop
 		n.open[vn] = o
@@ -404,6 +423,11 @@ func (n *NI) ReceiveEject(ft router.FlitInTransit, now int64) {
 	n.asm[ft.VC] = n.asm[ft.VC][:0]
 	n.Ejected++
 	n.col.PacketEjected(p, n.m.HopDistance(p.Src, p.Dst))
+	if n.bus != nil {
+		n.bus.Emit(obs.Event{Kind: obs.KindEject, Node: int32(n.Node),
+			VC: int16(p.VN), Pkt: p.ID, Src: int32(p.Src), Dst: int32(p.Dst),
+			A: p.NetworkLatency(), B: p.WakeupWait})
+	}
 	if n.Deliver != nil {
 		n.Deliver(p, now)
 	}

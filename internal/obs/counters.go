@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+)
+
+// HistBuckets is the number of log2 buckets in a Histogram. Bucket i
+// holds values v with bits.Len64(v) == i, i.e. bucket 0 holds v==0,
+// bucket 1 holds v==1, bucket 2 holds 2..3, bucket 3 holds 4..7, and
+// so on; 63-bit values land in the last bucket.
+const HistBuckets = 32
+
+// Histogram is a fixed-size log2 histogram of non-negative cycle
+// counts. The zero value is ready to use.
+type Histogram struct {
+	Buckets [HistBuckets]int64
+	Count   int64
+	Sum     int64
+	Max     int64
+}
+
+// Observe records one value (negative values are clamped to 0).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.Buckets[i]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the average observed value, or 0 for an empty
+// histogram.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// NodeCounters is the per-node event tally kept by Counters.
+type NodeCounters struct {
+	Kinds [NumKinds]int64 // events seen, indexed by Kind
+}
+
+// wakeWindow tracks one in-flight wakeup at a router.
+type wakeWindow struct {
+	active bool
+	punch  bool // wake was triggered by a punch signal
+	short  bool // gating period fell short of the break-even time
+	stalls int64
+}
+
+// BlockingSplit is the paper's §6 blocking analysis for one wake
+// cause: of the Twakeup cycles each wakeup takes, how many were
+// exposed to traffic (a flit sat stalled waiting on the waking
+// router) and how many were hidden (the router woke with slack to
+// spare).
+type BlockingSplit struct {
+	Wakeups       int64 // completed wake windows with this cause
+	ExposedCycles int64 // distinct stall cycles inside those windows
+	HiddenCycles  int64 // Twakeup minus exposed, clamped at 0, summed
+}
+
+// Counters is a Sink accumulating per-node event counts, global
+// latency-breakdown histograms, and the wakeup-exposed vs punch-
+// hidden stall split of the paper's §6 blocking analysis. The zero
+// value is ready to attach.
+type Counters struct {
+	meta  Meta
+	nodes []NodeCounters
+	total [NumKinds]int64
+
+	// Latency breakdown histograms over ejected packets.
+	Latency  Histogram // end-to-end packet latency
+	NIQueue  Histogram // source-NI queueing delay
+	WakeWait Histogram // cycles spent waiting on router wakeups
+
+	// Distinct (router, cycle) stall pairs: cycles in which at least
+	// one flit was blocked on a gated or waking downstream router.
+	StallCycles int64
+	stallMark   []int64 // last cycle a stall was counted per router
+
+	// §6 blocking analysis: wake windows split by trigger.
+	PunchWakes BlockingSplit // wakes triggered by punch signals
+	ConvWakes  BlockingSplit // conventional (WU handshake) wakes
+	ShortWakes int64         // wakes whose gated period missed BET
+
+	wakes []wakeWindow
+}
+
+// SetMeta implements MetaSink; the bus calls it at attach time.
+func (c *Counters) SetMeta(m Meta) {
+	c.meta = m
+	c.ensure(m.Nodes)
+}
+
+func (c *Counters) ensure(n int) {
+	if n <= len(c.nodes) {
+		return
+	}
+	c.nodes = append(c.nodes, make([]NodeCounters, n-len(c.nodes))...)
+	mark := make([]int64, n)
+	wk := make([]wakeWindow, n)
+	copy(mark, c.stallMark)
+	copy(wk, c.wakes)
+	for i := len(c.stallMark); i < n; i++ {
+		mark[i] = -1
+	}
+	c.stallMark = mark
+	c.wakes = wk
+}
+
+// Meta returns the run description received at attach time.
+func (c *Counters) Meta() Meta { return c.meta }
+
+// Event implements Sink.
+func (c *Counters) Event(e *Event) {
+	c.ensure(int(e.Node) + 1)
+	c.nodes[e.Node].Kinds[e.Kind]++
+	c.total[e.Kind]++
+	switch e.Kind {
+	case KindInject:
+		c.NIQueue.Observe(e.A)
+	case KindEject:
+		c.Latency.Observe(e.A)
+		c.WakeWait.Observe(e.B)
+	case KindPGStall:
+		// Dst is the gated/waking downstream router the flit waits
+		// on; count each (router, cycle) pair once no matter how
+		// many flits pile up behind it.
+		d := int(e.Dst)
+		c.ensure(d + 1)
+		if c.stallMark[d] != e.Cycle {
+			c.stallMark[d] = e.Cycle
+			c.StallCycles++
+			if c.wakes[d].active {
+				c.wakes[d].stalls++
+			}
+		}
+	case KindPGWake:
+		w := &c.wakes[e.Node]
+		w.active = true
+		w.punch = e.B == 1
+		w.short = e.Dir == 1
+		w.stalls = 0
+		if w.short {
+			c.ShortWakes++
+		}
+	case KindPGActive:
+		w := &c.wakes[e.Node]
+		if !w.active {
+			break
+		}
+		w.active = false
+		split := &c.ConvWakes
+		if w.punch {
+			split = &c.PunchWakes
+		}
+		split.Wakeups++
+		exposed := w.stalls
+		if t := int64(c.meta.Twakeup); exposed > t && t > 0 {
+			exposed = t
+		}
+		split.ExposedCycles += exposed
+		hidden := int64(c.meta.Twakeup) - exposed
+		if hidden < 0 {
+			hidden = 0
+		}
+		split.HiddenCycles += hidden
+	}
+}
+
+// Total returns the run-wide count of events of kind k.
+func (c *Counters) Total(k Kind) int64 { return c.total[k] }
+
+// Node returns the counter block for node id (zeros if the node never
+// emitted).
+func (c *Counters) Node(id int) NodeCounters {
+	if id < 0 || id >= len(c.nodes) {
+		return NodeCounters{}
+	}
+	return c.nodes[id]
+}
+
+// Nodes returns how many nodes have counter blocks.
+func (c *Counters) Nodes() int { return len(c.nodes) }
+
+// HiddenFraction returns the fraction of wakeup cycles hidden from
+// traffic across all completed wake windows (the paper's headline
+// blocking metric), or 1 if no wakeups completed.
+func (c *Counters) HiddenFraction() float64 {
+	exp := c.PunchWakes.ExposedCycles + c.ConvWakes.ExposedCycles
+	hid := c.PunchWakes.HiddenCycles + c.ConvWakes.HiddenCycles
+	if exp+hid == 0 {
+		return 1
+	}
+	return float64(hid) / float64(exp+hid)
+}
+
+// WriteReport writes a human-readable summary: run-wide event totals,
+// the latency breakdown, and the blocking analysis.
+func (c *Counters) WriteReport(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "events:\n"); err != nil {
+		return err
+	}
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if c.total[k] == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %-12s %12d\n", k.String(), c.total[k]); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "latency:   mean %.2f max %d (n=%d)\n", c.Latency.Mean(), c.Latency.Max, c.Latency.Count)
+	fmt.Fprintf(w, "ni queue:  mean %.2f max %d\n", c.NIQueue.Mean(), c.NIQueue.Max)
+	fmt.Fprintf(w, "wake wait: mean %.2f max %d\n", c.WakeWait.Mean(), c.WakeWait.Max)
+	fmt.Fprintf(w, "stall cycles (distinct router-cycles): %d\n", c.StallCycles)
+	fmt.Fprintf(w, "wakeups: punch %d (exposed %d, hidden %d)  conv %d (exposed %d, hidden %d)  short %d\n",
+		c.PunchWakes.Wakeups, c.PunchWakes.ExposedCycles, c.PunchWakes.HiddenCycles,
+		c.ConvWakes.Wakeups, c.ConvWakes.ExposedCycles, c.ConvWakes.HiddenCycles,
+		c.ShortWakes)
+	_, err := fmt.Fprintf(w, "hidden fraction: %.4f\n", c.HiddenFraction())
+	return err
+}
+
+// TopNodes returns the ids of the n nodes with the highest count of
+// kind k, busiest first (ties broken by lower id).
+func (c *Counters) TopNodes(k Kind, n int) []int {
+	ids := make([]int, 0, len(c.nodes))
+	for i := range c.nodes {
+		if c.nodes[i].Kinds[k] > 0 {
+			ids = append(ids, i)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ca, cb := c.nodes[ids[a]].Kinds[k], c.nodes[ids[b]].Kinds[k]
+		if ca != cb {
+			return ca > cb
+		}
+		return ids[a] < ids[b]
+	})
+	if n > 0 && len(ids) > n {
+		ids = ids[:n]
+	}
+	return ids
+}

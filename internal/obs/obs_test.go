@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		name := k.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		got, ok := KindByName(name)
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v, %v; want %v", name, got, ok, k)
+		}
+	}
+	if _, ok := KindByName("no-such-kind"); ok {
+		t.Error("KindByName accepted an unknown name")
+	}
+	if Kind(200).String() != "unknown" {
+		t.Error("out-of-range kind should stringify as unknown")
+	}
+}
+
+func TestKindMask(t *testing.T) {
+	m := MaskOf(KindInject, KindPGWake)
+	if !m.Has(KindInject) || !m.Has(KindPGWake) || m.Has(KindEject) {
+		t.Errorf("mask membership wrong: %b", m)
+	}
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if !MaskAll.Has(k) {
+			t.Errorf("MaskAll missing %v", k)
+		}
+	}
+}
+
+// endCycleCounter records EndCycle callbacks.
+type endCycleCounter struct {
+	events int
+	cycles []int64
+	meta   Meta
+}
+
+func (s *endCycleCounter) Event(e *Event)   { s.events++ }
+func (s *endCycleCounter) EndCycle(c int64) { s.cycles = append(s.cycles, c) }
+func (s *endCycleCounter) SetMeta(m Meta)   { s.meta = m }
+
+func TestBusStampsAndFansOut(t *testing.T) {
+	b := NewBus(Meta{Nodes: 16, Twakeup: 8})
+	var got []Event
+	b.Attach(&Funnel{Mask: MaskAll, Fn: func(e *Event) { got = append(got, *e) }})
+	cs := &endCycleCounter{}
+	b.Attach(cs)
+	if cs.meta.Nodes != 16 {
+		t.Fatalf("MetaSink not called at attach: %+v", cs.meta)
+	}
+
+	b.SetNow(42)
+	b.Emit(Event{Kind: KindInject, Node: 3, A: 7})
+	b.Emit(Event{Kind: KindEject, Node: 5})
+	b.EndCycle()
+	b.SetNow(43)
+	b.Emit(Event{Kind: KindPGWake, Node: 1})
+	b.EndCycle()
+
+	if len(got) != 3 || cs.events != 3 {
+		t.Fatalf("fan-out lost events: funnel=%d counter=%d", len(got), cs.events)
+	}
+	if got[0].Cycle != 42 || got[1].Cycle != 42 || got[2].Cycle != 43 {
+		t.Errorf("cycle stamping wrong: %+v", got)
+	}
+	if got[0].Node != 3 || got[0].A != 7 {
+		t.Errorf("payload lost: %+v", got[0])
+	}
+	if len(cs.cycles) != 2 || cs.cycles[0] != 42 || cs.cycles[1] != 43 {
+		t.Errorf("EndCycle callbacks: %v", cs.cycles)
+	}
+}
+
+func TestFunnelFilters(t *testing.T) {
+	b := NewBus(Meta{})
+	n := 0
+	b.Attach(&Funnel{Mask: MaskOf(KindPGGate), Fn: func(e *Event) { n++ }})
+	b.Emit(Event{Kind: KindPGGate})
+	b.Emit(Event{Kind: KindInject})
+	if n != 1 {
+		t.Errorf("funnel passed %d events, want 1", n)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		v      int64
+		bucket int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1 << 40, HistBuckets - 1}}
+	for _, c := range cases {
+		h.Observe(c.v)
+		if h.Buckets[c.bucket] == 0 {
+			t.Errorf("Observe(%d) missed bucket %d", c.v, c.bucket)
+		}
+	}
+	h.Observe(-5) // clamps to 0
+	if h.Buckets[0] != 2 {
+		t.Errorf("negative clamp: bucket0=%d", h.Buckets[0])
+	}
+	if h.Count != int64(len(cases))+1 || h.Max != 1<<40 {
+		t.Errorf("count=%d max=%d", h.Count, h.Max)
+	}
+	if h.Mean() <= 0 {
+		t.Errorf("mean=%f", h.Mean())
+	}
+	var empty Histogram
+	if empty.Mean() != 0 {
+		t.Error("empty histogram mean")
+	}
+}
+
+// TestCountersWakeSplit drives the §6 blocking-split logic with a
+// hand-built event sequence: a punch wake with two exposed stall cycles
+// (one duplicated within a cycle, which must dedup) and a conventional
+// wake with none.
+func TestCountersWakeSplit(t *testing.T) {
+	c := &Counters{}
+	c.SetMeta(Meta{Nodes: 8, Twakeup: 8})
+	b := NewBus(Meta{Nodes: 8, Twakeup: 8})
+	b.Attach(c)
+
+	b.SetNow(100)
+	b.Emit(Event{Kind: KindPGWake, Node: 3, A: 50, B: 1}) // punch-triggered
+	b.SetNow(101)
+	b.Emit(Event{Kind: KindPGStall, Node: 2, Dst: 3})
+	b.Emit(Event{Kind: KindPGStall, Node: 6, Dst: 3}) // same router+cycle: dedup
+	b.SetNow(103)
+	b.Emit(Event{Kind: KindPGStall, Node: 2, Dst: 3})
+	b.SetNow(108)
+	b.Emit(Event{Kind: KindPGActive, Node: 3, A: 8})
+
+	b.SetNow(200)
+	b.Emit(Event{Kind: KindPGWake, Node: 5, A: 4, B: 0, Dir: 1}) // short, conventional
+	b.SetNow(208)
+	b.Emit(Event{Kind: KindPGActive, Node: 5, A: 8})
+
+	if c.StallCycles != 2 {
+		t.Errorf("StallCycles = %d, want 2 (dedup per router-cycle)", c.StallCycles)
+	}
+	if c.PunchWakes.Wakeups != 1 || c.PunchWakes.ExposedCycles != 2 || c.PunchWakes.HiddenCycles != 6 {
+		t.Errorf("punch split: %+v", c.PunchWakes)
+	}
+	if c.ConvWakes.Wakeups != 1 || c.ConvWakes.ExposedCycles != 0 || c.ConvWakes.HiddenCycles != 8 {
+		t.Errorf("conv split: %+v", c.ConvWakes)
+	}
+	if c.ShortWakes != 1 {
+		t.Errorf("ShortWakes = %d", c.ShortWakes)
+	}
+	// 2 exposed of 16 wakeup cycles -> 14/16 hidden.
+	if got := c.HiddenFraction(); got != 14.0/16.0 {
+		t.Errorf("HiddenFraction = %f", got)
+	}
+	if c.Total(KindPGWake) != 2 || c.Node(3).Kinds[KindPGWake] != 1 {
+		t.Error("per-node kind counts wrong")
+	}
+	var rep strings.Builder
+	if err := c.WriteReport(&rep); err != nil || !strings.Contains(rep.String(), "hidden fraction") {
+		t.Errorf("WriteReport: %v %q", err, rep.String())
+	}
+	if top := c.TopNodes(KindPGStall, 1); len(top) != 1 || top[0] != 2 {
+		t.Errorf("TopNodes = %v", top)
+	}
+}
+
+func TestCountersLatencyHistograms(t *testing.T) {
+	c := &Counters{}
+	c.SetMeta(Meta{Nodes: 4, Twakeup: 8})
+	c.Event(&Event{Kind: KindInject, Node: 0, A: 3})
+	c.Event(&Event{Kind: KindEject, Node: 1, A: 25, B: 8})
+	if c.NIQueue.Sum != 3 || c.Latency.Sum != 25 || c.WakeWait.Sum != 8 {
+		t.Errorf("histogram sums: ni=%d lat=%d wake=%d", c.NIQueue.Sum, c.Latency.Sum, c.WakeWait.Sum)
+	}
+}
+
+func TestSamplerWindows(t *testing.T) {
+	s := NewSampler(4)
+	s.SetMeta(Meta{Nodes: 4})
+	b := NewBus(Meta{Nodes: 4})
+	b.Attach(s)
+	for cyc := int64(0); cyc < 8; cyc++ {
+		b.SetNow(cyc)
+		if cyc == 1 {
+			b.Emit(Event{Kind: KindPGGate, Node: 2})
+			b.Emit(Event{Kind: KindInject, Node: 0})
+		}
+		if cyc == 5 {
+			b.Emit(Event{Kind: KindPGWake, Node: 2})
+			b.Emit(Event{Kind: KindSwitch, Node: 1})
+		}
+		b.EndCycle()
+	}
+	rows := s.Samples()
+	if len(rows) != 2 {
+		t.Fatalf("want 2 windows, got %d", len(rows))
+	}
+	w0, w1 := rows[0], rows[1]
+	if w0.Cycle != 3 || w0.Gated != 1 || w0.Active != 3 || w0.Injected != 1 {
+		t.Errorf("window 0: %+v", w0)
+	}
+	if w1.Cycle != 7 || w1.Waking != 1 || w1.Gated != 0 || w1.Switched != 1 || w1.Wakeups != 1 {
+		t.Errorf("window 1: %+v", w1)
+	}
+	// Window counters are deltas: the injection must not leak into w1.
+	if w1.Injected != 0 {
+		t.Errorf("window counters not reset: %+v", w1)
+	}
+
+	var csvb, jb strings.Builder
+	if err := s.WriteCSV(&csvb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvb.String()), "\n")
+	if len(lines) != 3 || lines[0] != csvHeader {
+		t.Errorf("csv: %q", csvb.String())
+	}
+	if err := s.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var parsed Sample
+	if err := json.Unmarshal([]byte(strings.SplitN(jb.String(), "\n", 2)[0]), &parsed); err != nil {
+		t.Fatalf("jsonl row does not parse: %v", err)
+	}
+	if parsed != w0 {
+		t.Errorf("jsonl row %+v != %+v", parsed, w0)
+	}
+}
+
+func TestTraceWriterJSONL(t *testing.T) {
+	var buf strings.Builder
+	tw := NewTraceWriter(&buf, MaskOf(KindPGWake, KindEject))
+	b := NewBus(Meta{})
+	b.Attach(tw)
+	b.SetNow(9)
+	b.Emit(Event{Kind: KindPGWake, Node: 3, A: 17, B: 1})
+	b.Emit(Event{Kind: KindInject, Node: 0}) // filtered out
+	b.SetNow(10)
+	b.Emit(Event{Kind: KindEject, Node: 1, VC: 2, Pkt: 77, Src: 4, Dst: 1, A: 30})
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Events() != 2 {
+		t.Errorf("Events() = %d", tw.Events())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trace: %q", buf.String())
+	}
+	var row map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &row); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if row["cycle"] != float64(9) || row["kind"] != "pg_wake" || row["node"] != float64(3) ||
+		row["a"] != float64(17) || row["b"] != float64(1) {
+		t.Errorf("row 0: %v", row)
+	}
+	if _, present := row["pkt"]; present {
+		t.Error("zero field not omitted")
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &row); err != nil {
+		t.Fatal(err)
+	}
+	if row["kind"] != "eject" || row["pkt"] != float64(77) || row["src"] != float64(4) {
+		t.Errorf("row 1: %v", row)
+	}
+	if tw.Err() != nil {
+		t.Errorf("Err() = %v", tw.Err())
+	}
+}

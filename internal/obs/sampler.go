@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Sample is one row of the time-series a Sampler produces: the state
+// of the network over one sampling window. Counter fields are deltas
+// over the window; Gated/Waking/Active are instantaneous at the
+// window's closing cycle. The JSON field names are a stable export
+// format (sampleVersion).
+type Sample struct {
+	Cycle    int64 `json:"cycle"`  // closing cycle of the window
+	Gated    int   `json:"gated"`  // routers gated at Cycle
+	Waking   int   `json:"waking"` // routers mid-wakeup at Cycle
+	Active   int   `json:"active"` // routers active at Cycle
+	Injected int64 `json:"injected"`
+	Ejected  int64 `json:"ejected"`
+	Switched int64 `json:"switched"` // crossbar traversals in window
+	Punches  int64 `json:"punches"`  // punch emissions in window
+	Stalls   int64 `json:"stalls"`   // pg-stall events in window
+	Wakeups  int64 `json:"wakeups"`  // wakeups begun in window
+	NIBlock  int64 `json:"ni_block"` // blocked source-NI cycles
+}
+
+// SampleVersion identifies the Sample JSON schema.
+const SampleVersion = 1
+
+// Sampler is a CycleSink producing a periodic timeline of power and
+// traffic activity: how many routers are gated/waking, and windowed
+// injection/ejection/switching/punch/stall rates. Use NewSampler to
+// pick the window length.
+type Sampler struct {
+	interval int64
+	meta     Meta
+	state    []uint8 // per-node power state: 0 active, 1 waking, 2 gated
+	win      Sample  // accumulating window
+	samples  []Sample
+}
+
+// NewSampler returns a Sampler emitting one Sample every interval
+// cycles (interval < 1 is treated as 1).
+func NewSampler(interval int64) *Sampler {
+	if interval < 1 {
+		interval = 1
+	}
+	return &Sampler{interval: interval}
+}
+
+// SetMeta implements MetaSink.
+func (s *Sampler) SetMeta(m Meta) {
+	s.meta = m
+	if m.Nodes > len(s.state) {
+		s.state = append(s.state, make([]uint8, m.Nodes-len(s.state))...)
+	}
+}
+
+// Interval returns the sampling window length in cycles.
+func (s *Sampler) Interval() int64 { return s.interval }
+
+func (s *Sampler) ensure(n int) {
+	if n > len(s.state) {
+		s.state = append(s.state, make([]uint8, n-len(s.state))...)
+	}
+}
+
+// Event implements Sink.
+func (s *Sampler) Event(e *Event) {
+	switch e.Kind {
+	case KindInject:
+		s.win.Injected++
+	case KindEject:
+		s.win.Ejected++
+	case KindSwitch:
+		s.win.Switched++
+	case KindPunchEmit:
+		s.win.Punches++
+	case KindPGStall:
+		s.win.Stalls++
+	case KindNIBlock:
+		s.win.NIBlock++
+	case KindPGGate:
+		s.ensure(int(e.Node) + 1)
+		s.state[e.Node] = 2
+	case KindPGWake:
+		s.ensure(int(e.Node) + 1)
+		s.state[e.Node] = 1
+		s.win.Wakeups++
+	case KindPGActive:
+		s.ensure(int(e.Node) + 1)
+		s.state[e.Node] = 0
+	}
+}
+
+// EndCycle implements CycleSink: closes the window every interval
+// cycles.
+func (s *Sampler) EndCycle(cycle int64) {
+	if (cycle+1)%s.interval != 0 {
+		return
+	}
+	s.win.Cycle = cycle
+	s.win.Gated, s.win.Waking = 0, 0
+	for _, st := range s.state {
+		switch st {
+		case 1:
+			s.win.Waking++
+		case 2:
+			s.win.Gated++
+		}
+	}
+	s.win.Active = len(s.state) - s.win.Gated - s.win.Waking
+	s.samples = append(s.samples, s.win)
+	s.win = Sample{}
+}
+
+// Samples returns the collected timeline (shared backing array; do
+// not mutate while the run continues).
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// csvHeader lists the CSV columns, in Sample field order.
+const csvHeader = "cycle,gated,waking,active,injected,ejected,switched,punches,stalls,wakeups,ni_block"
+
+// WriteCSV writes the timeline as CSV with a header row.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+		return err
+	}
+	for _, r := range s.samples {
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			r.Cycle, r.Gated, r.Waking, r.Active, r.Injected, r.Ejected,
+			r.Switched, r.Punches, r.Stalls, r.Wakeups, r.NIBlock)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL writes the timeline as JSON lines, one Sample per line.
+func (s *Sampler) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range s.samples {
+		if err := enc.Encode(&s.samples[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// TraceWriter is a Sink streaming every matching event as one JSON
+// object per line (JSONL). Lines carry only the fields meaningful for
+// the event's kind plus the always-present cycle/kind/node triple, so
+// traces stay compact and diff-friendly:
+//
+//	{"cycle":412,"kind":"pg_wake","node":27,"a":96,"b":1}
+//
+// Writes are buffered; call Flush (or Close) before reading the
+// underlying writer. TraceWriter is not safe for concurrent use.
+type TraceWriter struct {
+	w    *bufio.Writer
+	mask KindMask
+	n    int64
+	err  error
+	buf  []byte
+}
+
+// NewTraceWriter returns a TraceWriter streaming to w. mask selects
+// the kinds to record; use MaskAll for everything.
+func NewTraceWriter(w io.Writer, mask KindMask) *TraceWriter {
+	return &TraceWriter{
+		w:    bufio.NewWriterSize(w, 1<<16),
+		mask: mask,
+		buf:  make([]byte, 0, 160),
+	}
+}
+
+// Events returns how many events have been written.
+func (t *TraceWriter) Events() int64 { return t.n }
+
+// Err returns the first write error encountered, if any.
+func (t *TraceWriter) Err() error { return t.err }
+
+func (t *TraceWriter) field(name string, v int64) {
+	t.buf = append(t.buf, ',', '"')
+	t.buf = append(t.buf, name...)
+	t.buf = append(t.buf, '"', ':')
+	t.buf = strconv.AppendInt(t.buf, v, 10)
+}
+
+// Event implements Sink. The encoding is hand-rolled (no reflection,
+// no allocation beyond the reusable buffer) so full-trace runs stay
+// fast.
+func (t *TraceWriter) Event(e *Event) {
+	if t.err != nil || !t.mask.Has(e.Kind) {
+		return
+	}
+	b := t.buf[:0]
+	b = append(b, `{"cycle":`...)
+	b = strconv.AppendInt(b, e.Cycle, 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","node":`...)
+	b = strconv.AppendInt(b, int64(e.Node), 10)
+	t.buf = b
+	if e.Dir != 0 {
+		t.field("dir", int64(e.Dir))
+	}
+	if e.VC != 0 {
+		t.field("vc", int64(e.VC))
+	}
+	if e.Pkt != 0 {
+		t.field("pkt", int64(e.Pkt))
+	}
+	if e.Src != 0 {
+		t.field("src", int64(e.Src))
+	}
+	if e.Dst != 0 {
+		t.field("dst", int64(e.Dst))
+	}
+	if e.A != 0 {
+		t.field("a", e.A)
+	}
+	if e.B != 0 {
+		t.field("b", e.B)
+	}
+	t.buf = append(t.buf, '}', '\n')
+	if _, err := t.w.Write(t.buf); err != nil {
+		t.err = err
+		return
+	}
+	t.n++
+}
+
+// Flush drains the internal buffer to the underlying writer.
+func (t *TraceWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	if err := t.w.Flush(); err != nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Close flushes the writer. The underlying io.Writer is not closed.
+func (t *TraceWriter) Close() error { return t.Flush() }

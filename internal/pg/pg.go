@@ -12,7 +12,11 @@
 // disabled and reports the router as permanently on.
 package pg
 
-import "fmt"
+import (
+	"fmt"
+
+	"powerpunch/internal/obs"
+)
 
 // State is the gating FSM state.
 type State int
@@ -99,6 +103,13 @@ type Controller struct {
 	// onGate/onWake are optional energy-accounting callbacks.
 	onGate func()
 	onWake func()
+
+	// bus, when non-nil, receives gate/wake/active transition events
+	// (see SetBus). activeSince tracks the cycle the router last
+	// became usable, for the KindPGGate active-period payload.
+	bus         *obs.Bus
+	node        int32
+	activeSince int64
 }
 
 // New returns a controller. enabled=false yields a permanently-Active
@@ -137,6 +148,17 @@ const (
 	throttleMinSamples = 4
 	throttleDecay      = 0.75
 )
+
+// SetBus attaches an observability bus: the controller for router
+// `node` emits KindPGGate / KindPGWake / KindPGActive transition
+// events. A nil bus (the default) keeps the controller silent at the
+// cost of one branch per transition.
+func (c *Controller) SetBus(b *obs.Bus, node int32) {
+	c.bus, c.node = b, node
+	if b != nil {
+		c.activeSince = b.Now()
+	}
+}
 
 // SetAdaptiveThrottle enables the churn back-off extension: gating
 // pauses for a window whenever the recent average gated-period length
@@ -207,6 +229,9 @@ func (c *Controller) Step(in Inputs) {
 		if c.onGate != nil {
 			c.onGate()
 		}
+		if c.bus != nil {
+			c.bus.Emit(obs.Event{Kind: obs.KindPGGate, Node: c.node, A: c.bus.Now() - c.activeSince})
+		}
 	case Gated:
 		c.stats.GatedCycles++
 		c.gatedFor++
@@ -219,7 +244,7 @@ func (c *Controller) Step(in Inputs) {
 			} else {
 				c.stats.WakeupsWU++
 			}
-			c.beginWake()
+			c.beginWake(in.PunchHold)
 		}
 	case Waking:
 		c.stats.WakingCycles++
@@ -227,11 +252,15 @@ func (c *Controller) Step(in Inputs) {
 		if c.wakeCnt <= 0 {
 			c.state = Active
 			c.idleCnt = 0
+			if c.bus != nil {
+				c.activeSince = c.bus.Now()
+				c.bus.Emit(obs.Event{Kind: obs.KindPGActive, Node: c.node, A: int64(c.wakeup)})
+			}
 		}
 	}
 }
 
-func (c *Controller) beginWake() {
+func (c *Controller) beginWake(punch bool) {
 	c.state = Waking
 	// The WU was observed this cycle (counted Gated); wakeup-1 further
 	// Waking cycles make the router usable exactly Twakeup cycles after
@@ -241,6 +270,16 @@ func (c *Controller) beginWake() {
 	short := c.gatedFor < c.breakEven
 	if short {
 		c.stats.ShortGatings++
+	}
+	if c.bus != nil {
+		ev := obs.Event{Kind: obs.KindPGWake, Node: c.node, A: c.gatedFor}
+		if punch {
+			ev.B = 1
+		}
+		if short {
+			ev.Dir = 1
+		}
+		c.bus.Emit(ev)
 	}
 	if c.adaptive {
 		if c.ewmaSamples == 0 {
@@ -302,6 +341,6 @@ func (c *Controller) SetFaultIgnoreWakeups(v bool) { c.faultIgnoreWakeups = v }
 // by drain logic at the end of a simulation).
 func (c *Controller) ForceWake() {
 	if c.state == Gated {
-		c.beginWake()
+		c.beginWake(false)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"powerpunch/internal/flit"
 	"powerpunch/internal/link"
 	"powerpunch/internal/mesh"
+	"powerpunch/internal/obs"
 	"powerpunch/internal/pg"
 	"powerpunch/internal/power"
 	"powerpunch/internal/topo"
@@ -128,6 +129,11 @@ type Router struct {
 	// active-set scheduler uses it to arm the receiver before the flit
 	// arrives.
 	forwardHook func(mesh.NodeID)
+
+	// bus, when non-nil, receives flit-lifecycle events (VC allocation,
+	// switch traversal, link departure, PG stalls). Nil keeps the hot
+	// path free of observability work beyond one branch per site.
+	bus *obs.Bus
 
 	// Stats.
 	FlitsForwarded int64
@@ -311,6 +317,9 @@ func (r *Router) stepST(now int64) {
 					v.blockedOnce = true
 					pkt.BlockedRouters++
 				}
+				if r.bus != nil {
+					r.emitStall(p, key%r.numVCs, pkt)
+				}
 			}
 			continue
 		}
@@ -357,6 +366,9 @@ func (r *Router) stepST(now int64) {
 				if r.forwardHook != nil && op.dir != mesh.Local && op.neighbor != mesh.Invalid {
 					r.forwardHook(op.neighbor)
 				}
+				if r.bus != nil {
+					r.emitGrant(op, out, v.outVC)
+				}
 				// Return the freed slot upstream.
 				r.in[key/r.numVCs].CreditOut.Push(Credit{VC: key % r.numVCs}, now)
 
@@ -402,6 +414,9 @@ func (r *Router) stepSTRef(now int64) {
 						v.blockedOnce = true
 						pkt.BlockedRouters++
 					}
+					if r.bus != nil {
+						r.emitStall(p, vi, pkt)
+					}
 				}
 			}
 			continue
@@ -439,6 +454,9 @@ func (r *Router) stepSTRef(now int64) {
 			}
 			if r.forwardHook != nil && op.dir != mesh.Local && op.neighbor != mesh.Invalid {
 				r.forwardHook(op.neighbor)
+			}
+			if r.bus != nil {
+				r.emitGrant(op, out, v.outVC)
 			}
 			// Return the freed slot upstream.
 			r.in[ip].CreditOut.Push(Credit{VC: vi}, now)
@@ -487,6 +505,10 @@ func (r *Router) stepVA(now int64) {
 		if got, ov := r.allocVC(op, f, p, vi); got {
 			v.vaDone = true
 			v.outVC = ov
+			if r.bus != nil {
+				r.bus.Emit(obs.Event{Kind: obs.KindVCAlloc, Node: int32(r.ID),
+					Dir: int8(v.outDir), VC: int16(ov), Pkt: f.Packet.ID})
+			}
 		}
 	}
 }
@@ -520,6 +542,10 @@ func (r *Router) stepVARef(now int64) {
 			if got, ov := r.allocVC(op, f, p, vi); got {
 				v.vaDone = true
 				v.outVC = ov
+				if r.bus != nil {
+					r.bus.Emit(obs.Event{Kind: obs.KindVCAlloc, Node: int32(r.ID),
+						Dir: int8(v.outDir), VC: int16(ov), Pkt: f.Packet.ID})
+				}
 			}
 		}
 	}
@@ -703,6 +729,52 @@ func (r *Router) ResidentHeads(fn func(p *flit.Packet)) {
 // SetForwardHook registers the active-set scheduler's receiver-arming
 // callback; see the forwardHook field.
 func (r *Router) SetForwardHook(fn func(mesh.NodeID)) { r.forwardHook = fn }
+
+// SetBus attaches an observability bus; see the bus field.
+func (r *Router) SetBus(b *obs.Bus) { r.bus = b }
+
+// emitStall publishes one KindPGStall event for a pipeline-ready flit
+// denied switch traversal because the downstream router is gated or
+// waking.
+func (r *Router) emitStall(outPort int, vcIdx int, pkt *flit.Packet) {
+	r.bus.Emit(obs.Event{
+		Kind: obs.KindPGStall,
+		Node: int32(r.ID),
+		Dir:  int8(outPort),
+		VC:   int16(vcIdx),
+		Pkt:  pkt.ID,
+		Dst:  int32(r.out[outPort].neighbor),
+	})
+}
+
+// emitGrant publishes the KindSwitch (crossbar traversal) and, for
+// inter-router outputs, KindLink (link departure) events for one
+// granted flit.
+func (r *Router) emitGrant(op *OutputPort, out *flit.Flit, outVC int) {
+	tail := int64(0)
+	if out.Type.IsTail() {
+		tail = 1
+	}
+	r.bus.Emit(obs.Event{
+		Kind: obs.KindSwitch,
+		Node: int32(r.ID),
+		Dir:  int8(op.dir),
+		VC:   int16(outVC),
+		Pkt:  out.Packet.ID,
+		A:    tail,
+	})
+	if op.dir != mesh.Local && op.neighbor != mesh.Invalid {
+		r.bus.Emit(obs.Event{
+			Kind: obs.KindLink,
+			Node: int32(r.ID),
+			Dir:  int8(op.dir),
+			VC:   int16(outVC),
+			Pkt:  out.Packet.ID,
+			Src:  int32(r.ID),
+			Dst:  int32(op.neighbor),
+		})
+	}
+}
 
 // PunchEmitter receives one punch emission per resident packet head;
 // core.Fabric implements it.

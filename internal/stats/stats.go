@@ -28,6 +28,8 @@ type Collector struct {
 	networkLatSum    int64 // injection -> ejection
 	blockedSum       int64 // powered-off routers encountered
 	wakeupWaitSum    int64 // cycles stalled waiting for wakeup
+	niWaitSum        int64 // creation -> injection (time before entering the net)
+	wakeupWaitNISum  int64 // wakeup-wait portion accrued at the source NI
 	hopsSum          int64
 	perVNejected     [flit.NumVirtualNetworks]int64
 	latencySamples   []int64
@@ -82,6 +84,8 @@ func (c *Collector) PacketEjected(p *flit.Packet, hops int) {
 	c.networkLatSum += p.RouterLatency()
 	c.blockedSum += int64(p.BlockedRouters)
 	c.wakeupWaitSum += p.WakeupWait
+	c.niWaitSum += p.InjectedAt - p.CreatedAt
+	c.wakeupWaitNISum += p.WakeupWaitNI
 	c.hopsSum += int64(hops)
 	c.perVNejected[p.VN]++
 	if lat > c.maxLatency {
@@ -179,6 +183,30 @@ func (c *Collector) Percentile(p float64) float64 {
 		idx = len(s) - 1
 	}
 	return float64(s[idx])
+}
+
+// StageSums are the exact integer cycle sums behind the latency
+// metrics, the inputs to RunResult.Detail's stage decomposition. All
+// sums cover measured ejected packets only, so
+// Latency == NIWait' + transit' for every packet and
+// Latency / Packets == Summary.AvgLatency exactly.
+type StageSums struct {
+	Packets      int64 // measured packets ejected
+	Latency      int64 // Σ (EjectedAt − CreatedAt)
+	NIWait       int64 // Σ (InjectedAt − CreatedAt)
+	WakeupWait   int64 // Σ WakeupWait (NI-side + in-network)
+	WakeupWaitNI int64 // Σ WakeupWaitNI (the NI-side portion)
+}
+
+// Stages returns the integer cycle sums of the latency decomposition.
+func (c *Collector) Stages() StageSums {
+	return StageSums{
+		Packets:      c.ejectedPackets,
+		Latency:      c.latencySum,
+		NIWait:       c.niWaitSum,
+		WakeupWait:   c.wakeupWaitSum,
+		WakeupWaitNI: c.wakeupWaitNISum,
+	}
 }
 
 // Summary is a snapshot of the headline metrics for reporting.

@@ -29,6 +29,7 @@ import (
 	"powerpunch/internal/experiments"
 	"powerpunch/internal/mesh"
 	"powerpunch/internal/network"
+	"powerpunch/internal/obs"
 	"powerpunch/internal/parsec"
 	"powerpunch/internal/topo"
 	"powerpunch/internal/traffic"
@@ -66,11 +67,126 @@ type Driver = network.Driver
 // RunResult summarizes a simulation run.
 type RunResult = network.RunResult
 
+// RunDetail is the versioned, JSON-stable detail section of a
+// RunResult: the exact per-stage latency decomposition (which sums to
+// Summary.AvgLatency exactly), power-gating activity, and punch-fabric
+// activity.
+type RunDetail = network.RunDetail
+
+// The component breakdowns of RunDetail.
+type (
+	// StageBreakdown is RunDetail's exact latency decomposition.
+	StageBreakdown = network.StageBreakdown
+	// PGBreakdown aggregates power-gating controller activity.
+	PGBreakdown = network.PGBreakdown
+	// PunchBreakdown aggregates punch-fabric activity.
+	PunchBreakdown = network.PunchBreakdown
+)
+
+// DetailVersion identifies the RunDetail JSON schema.
+const DetailVersion = network.DetailVersion
+
+// Observer consumes cycle-level events from an observed network (see
+// WithObserver and Network.Observe). The *ProbeEvent passed to Event
+// points at bus-owned scratch storage, valid only for the duration of
+// the call; copy the value to retain it. Sinks run synchronously on
+// the simulation goroutine.
+type Observer = obs.Sink
+
+// ProbeEvent is one observation: a flat comparable value whose field
+// meaning depends on Kind (see the internal/obs kind taxonomy,
+// documented in DESIGN.md §10).
+type ProbeEvent = obs.Event
+
+// ProbeKind discriminates ProbeEvent types.
+type ProbeKind = obs.Kind
+
+// CountersProbe accumulates per-node event counts, latency-breakdown
+// histograms, and the paper's §6 wakeup-exposed vs punch-hidden stall
+// split. The zero value is ready to attach; see NewCountersProbe.
+type CountersProbe = obs.Counters
+
+// NewCountersProbe returns an empty counters probe:
+//
+//	probe := powerpunch.NewCountersProbe()
+//	net, err := powerpunch.NewNetwork(cfg, powerpunch.WithObserver(probe))
+func NewCountersProbe() *CountersProbe { return &obs.Counters{} }
+
+// TimelineSampler produces a periodic power/activity timeline
+// (gated/waking router counts, injection and switching rates)
+// exportable as CSV or JSONL.
+type TimelineSampler = obs.Sampler
+
+// TimelineSample is one row of a TimelineSampler's output.
+type TimelineSample = obs.Sample
+
+// NewTimelineSampler returns a sampler emitting one TimelineSample
+// every interval cycles.
+func NewTimelineSampler(interval int64) *TimelineSampler { return obs.NewSampler(interval) }
+
+// EventTraceWriter streams every event as one JSON object per line.
+// Call Flush before reading the underlying writer.
+type EventTraceWriter = obs.TraceWriter
+
+// NewEventTraceWriter returns a trace writer streaming every event
+// kind to w (see `noctrace trace` for the CLI form).
+func NewEventTraceWriter(w io.Writer) *EventTraceWriter {
+	return obs.NewTraceWriter(w, obs.MaskAll)
+}
+
+// NewFilteredEventTraceWriter returns a trace writer streaming only
+// the given event kinds to w.
+func NewFilteredEventTraceWriter(w io.Writer, kinds ...ProbeKind) *EventTraceWriter {
+	return obs.NewTraceWriter(w, obs.MaskOf(kinds...))
+}
+
+// ProbeKindByName resolves a stable snake_case event-kind name
+// ("inject", "pg_wake", "punch_emit", ...) as used in JSONL traces;
+// ok is false for unknown names.
+func ProbeKindByName(name string) (k ProbeKind, ok bool) { return obs.KindByName(name) }
+
 // NodeID identifies a mesh node.
 type NodeID = mesh.NodeID
 
-// NewNetwork builds a network for cfg.
-func NewNetwork(cfg Config) (*Network, error) { return network.New(cfg) }
+// Direction identifies a router port / link direction.
+type Direction = mesh.Direction
+
+// Typed link directions for the punch-channel encoders and any API
+// taking a Direction. Prefer these over raw ints.
+const (
+	DirN = mesh.North // Y-
+	DirS = mesh.South // Y+
+	DirE = mesh.East  // X+
+	DirW = mesh.West  // X-
+)
+
+// Option configures a Network at construction time (see NewNetwork).
+type Option func(*Network)
+
+// WithObserver attaches observability sinks to the network being
+// built: routers, PG controllers, NIs, and the punch fabric publish
+// cycle-level events (flit lifecycle, gating transitions, punch
+// signalling) into a shared bus fanned out to the sinks. See
+// NewCountersProbe, NewTimelineSampler, and NewEventTraceWriter for
+// ready-made sinks. With no observer the layer costs nothing beyond a
+// nil check per emission site, and the tick path stays 0 allocs/cycle.
+func WithObserver(sinks ...Observer) Option {
+	return func(n *Network) { n.Observe(sinks...) }
+}
+
+// NewNetwork builds a network for cfg and applies the options.
+func NewNetwork(cfg Config, opts ...Option) (*Network, error) {
+	n, err := network.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range opts {
+		if o != nil {
+			o(n)
+		}
+	}
+	return n, nil
+}
 
 // TrafficPattern maps sources to destinations for synthetic workloads.
 type TrafficPattern = traffic.Pattern
@@ -121,23 +237,65 @@ func PARSECProfile(name string, instrPerCore int64) (WorkloadProfile, error) {
 // PunchChannelEncoding is the Table-1 code book of one punch channel.
 type PunchChannelEncoding = core.ChannelEncoding
 
-// EncodePunchChannel enumerates the distinct merged target sets on the
-// punch channel leaving router r in direction d (paper Table 1).
-// Directions: 0=N (Y-), 1=S (Y+), 2=E (X+), 3=W (X-).
-func EncodePunchChannel(width, height int, r NodeID, dir int, hops int) *PunchChannelEncoding {
-	return core.EncodeChannel(mesh.New(width, height), r, mesh.Direction(dir), hops)
+// TopologySpec names a fabric for APIs that work on any topology. The
+// zero value is the paper's default 8x8 mesh: an empty Topology means
+// "mesh", zero Width/Height default to 8 (Height 1 for a ring).
+type TopologySpec struct {
+	Topology string // "mesh" (default), "torus", or "ring"
+	Width    int    // grid columns; 0 means 8
+	Height   int    // grid rows; 0 means 8 (1 for a ring)
 }
 
-// EncodePunchChannelOn is EncodePunchChannel for an arbitrary fabric:
-// topology is "mesh", "torus", or "ring" (ring requires height 1). The
-// code book is derived from that fabric's routing function, so torus
-// and ring channels account for wraparound paths.
-func EncodePunchChannelOn(topology string, width, height int, r NodeID, dir int, hops int) (*PunchChannelEncoding, error) {
-	rf, err := topo.Build(topology, width, height)
+// normalize applies the zero-value defaults.
+func (s TopologySpec) normalize() TopologySpec {
+	if s.Topology == "" {
+		s.Topology = "mesh"
+	}
+	if s.Width == 0 {
+		s.Width = 8
+	}
+	if s.Height == 0 {
+		s.Height = 8
+		if s.Topology == "ring" {
+			s.Height = 1
+		}
+	}
+	return s
+}
+
+// EncodePunchChannel enumerates the distinct merged target sets on the
+// punch channel leaving router r in direction dir with the given
+// hop-count slack (paper Table 1). The code book is derived from the
+// fabric's routing function, so torus and ring channels account for
+// wraparound paths; the zero TopologySpec is the paper's 8x8 mesh:
+//
+//	enc, err := powerpunch.EncodePunchChannel(powerpunch.TopologySpec{}, 27, powerpunch.DirE, 3)
+func EncodePunchChannel(spec TopologySpec, r NodeID, dir Direction, hops int) (*PunchChannelEncoding, error) {
+	spec = spec.normalize()
+	rf, err := topo.Build(spec.Topology, spec.Width, spec.Height)
 	if err != nil {
 		return nil, err
 	}
-	return core.EncodeChannelOn(rf, r, mesh.Direction(dir), hops), nil
+	return core.EncodeChannelOn(rf, r, dir, hops), nil
+}
+
+// EncodePunchChannelMesh is the pre-TopologySpec mesh-only encoder.
+// Directions: 0=N (Y-), 1=S (Y+), 2=E (X+), 3=W (X-).
+//
+// Deprecated: use EncodePunchChannel with a TopologySpec and the typed
+// DirN/DirS/DirE/DirW constants.
+func EncodePunchChannelMesh(width, height int, r NodeID, dir int, hops int) *PunchChannelEncoding {
+	return core.EncodeChannel(mesh.New(width, height), r, mesh.Direction(dir), hops)
+}
+
+// EncodePunchChannelOn is EncodePunchChannel with the fabric spelled
+// out as separate arguments and a raw-int direction.
+//
+// Deprecated: use EncodePunchChannel with a TopologySpec and the typed
+// DirN/DirS/DirE/DirW constants.
+func EncodePunchChannelOn(topology string, width, height int, r NodeID, dir int, hops int) (*PunchChannelEncoding, error) {
+	return EncodePunchChannel(TopologySpec{Topology: topology, Width: width, Height: height},
+		r, Direction(dir), hops)
 }
 
 // Experiments re-exports the per-figure drivers for programmatic use.

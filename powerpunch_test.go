@@ -49,9 +49,30 @@ func TestPublicWorkloadFlow(t *testing.T) {
 }
 
 func TestPublicEncoding(t *testing.T) {
-	enc := EncodePunchChannel(8, 8, 27, 2, 3) // E == 2
+	enc, err := EncodePunchChannel(TopologySpec{}, 27, DirE, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if enc == nil || len(enc.Codes) != 22 || enc.WidthBits != 5 {
 		t.Fatalf("public encoding API broken: %+v", enc)
+	}
+	// The zero TopologySpec is the explicit 8x8 mesh.
+	explicit, err := EncodePunchChannel(TopologySpec{Topology: "mesh", Width: 8, Height: 8}, 27, DirE, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(explicit.Codes) != len(enc.Codes) || explicit.WidthBits != enc.WidthBits {
+		t.Fatalf("zero spec != explicit 8x8 mesh: %d/%d vs %d/%d",
+			len(enc.Codes), enc.WidthBits, len(explicit.Codes), explicit.WidthBits)
+	}
+	// Deprecated wrappers must agree with the merged entry point.
+	old := EncodePunchChannelMesh(8, 8, 27, 2, 3)
+	if len(old.Codes) != len(enc.Codes) || old.WidthBits != enc.WidthBits {
+		t.Fatalf("EncodePunchChannelMesh diverged: %+v", old)
+	}
+	on, err := EncodePunchChannelOn("torus", 8, 8, 27, 2, 3)
+	if err != nil || on == nil || len(on.Codes) == 0 {
+		t.Fatalf("EncodePunchChannelOn: %v %+v", err, on)
 	}
 }
 
