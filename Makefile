@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race soak soak-obs api apicheck check fuzz clean bench bench-check
+.PHONY: build test vet race soak soak-obs soak-par api apicheck check fuzz clean bench bench-check
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,16 @@ soak:
 soak-obs: vet
 	$(GO) test -race -run 'TestSoakObserved|TestObservedRunIsGoldenIdentical' ./internal/network/
 
+# Parallel-engine soak: every scheme on every fabric on the sharded
+# tick engine with the invariant engine sweeping every cycle, plus a
+# recycled high-load leg at eight workers — under the race detector, so
+# the section bodies, barrier handoffs, replay buffers, and per-worker
+# pools get full data-race coverage. The golden differential suite
+# (TestParallelMatchesSerial and friends, tier-1) locks bit-identical
+# results; this target locks race-freedom and liveness.
+soak-par: vet
+	$(GO) test -race -run 'TestSoakParallel' ./internal/network/
+
 # Public API surface lock: API.txt is the committed `go doc -all .`
 # golden. After a deliberate surface change, run `make api` and commit
 # the diff; `make apicheck` fails when the exported surface drifts
@@ -51,7 +61,7 @@ apicheck: build
 	fi
 
 # Tier-2: everything above plus the benchmark regression gate.
-check: vet test race soak soak-obs apicheck bench-check
+check: vet test race soak soak-obs soak-par apicheck bench-check
 
 # Benchmark baseline maintenance. `make bench` runs the locked tick
 # benchmarks (per scheme and load point, active-set and full-walk, with
@@ -68,7 +78,7 @@ check: vet test race soak soak-obs apicheck bench-check
 # BenchmarkTickTopo*); sub-microsecond micros (NetworkStepIdle,
 # PunchFabricStep) are too jitter-prone for a threshold gate — run
 # those by hand with `go test -bench`.
-BENCHES    ?= ^BenchmarkTick$$|^BenchmarkTickFullWalk$$|^BenchmarkTickTopo$$|^BenchmarkTickTopoFullWalk$$
+BENCHES    ?= ^BenchmarkTick$$|^BenchmarkTickFullWalk$$|^BenchmarkTickTopo$$|^BenchmarkTickTopoFullWalk$$|^BenchmarkTickPar$$
 BENCHTIME  ?= 0.5s
 BENCHCOUNT ?= 5
 # bench-diff defaults to a 10% gate; shared development machines show

@@ -298,6 +298,10 @@ func tickBenchOn(b *testing.B, topoName string, w, h int, scheme config.Scheme, 
 	cfg.FullTick = fullTick
 	cfg.WarmupCycles = 0
 	cfg.MeasureCycles = 1 << 40
+	// Packet recycling keeps the whole inject+step loop allocation-free
+	// at every locked load (the committed baseline pins allocs/op = 0);
+	// results are bit-identical either way.
+	cfg.RecyclePackets = true
 	net, err := network.New(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -389,6 +393,49 @@ func BenchmarkTickTopoFullWalk(b *testing.B) {
 			fab, load := fab, load
 			b.Run(fmt.Sprintf("%s/%s/load=%.2f", fab.topo, config.PowerPunchPG, load), func(b *testing.B) {
 				tickBenchOn(b, fab.topo, fab.width, fab.height, config.PowerPunchPG, load, true)
+			})
+		}
+	}
+}
+
+// BenchmarkTickPar measures the sharded parallel tick engine against
+// the recycled serial hot path on the 8x8 mesh under PowerPunch-PG.
+// Every row enables packet recycling so par=0 (serial) and par=N differ
+// only in the engine; cmd/noctrace bench-diff derives a speedup column
+// from rows that differ only in the /par= label. Rows are honest
+// wall-clock measurements on whatever hardware runs them — on a
+// single-CPU host the parallel rows pay barrier overhead with no
+// speedup to collect; the engine targets multi-core hosts.
+func BenchmarkTickPar(b *testing.B) {
+	for _, load := range []float64{0.10, 0.30} {
+		for _, workers := range []int{0, 2, 4, 8} {
+			load, workers := load, workers
+			b.Run(fmt.Sprintf("%s/load=%.2f/par=%d", config.PowerPunchPG, load, workers), func(b *testing.B) {
+				cfg := config.Default()
+				cfg.Scheme = config.PowerPunchPG
+				cfg.WarmupCycles = 0
+				cfg.MeasureCycles = 1 << 40
+				cfg.Workers = workers
+				cfg.RecyclePackets = true
+				net, err := network.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer net.Close()
+				drv := traffic.NewSynthetic(traffic.UniformRandom{}, load, 1)
+				for i := 0; i < 3000; i++ {
+					drv.Tick(net, net.Now())
+					net.Step()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					drv.Tick(net, net.Now())
+					net.Step()
+				}
+				b.StopTimer()
+				if s := b.Elapsed().Seconds(); s > 0 {
+					b.ReportMetric(float64(b.N)/s, "cycles/sec")
+				}
 			})
 		}
 	}

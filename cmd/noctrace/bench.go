@@ -277,6 +277,7 @@ func benchDiff(args []string) {
 	for _, name := range missing {
 		fmt.Printf("MISSING  %-45s (in baseline, not in new run)\n", name)
 	}
+	printSpeedups(cur.Benchmarks)
 
 	fmt.Printf("bench-diff: %d metrics compared against %s (go %s vs %s), tolerance %.0f%%, machine drift %+.1f%%\n",
 		compared, *basePath, base.GoVersion, cur.GoVersion, *maxRegress*100, (speed-1)*100)
@@ -286,6 +287,39 @@ func benchDiff(args []string) {
 		os.Exit(1)
 	}
 	fmt.Println("bench-diff: OK")
+}
+
+// parLabel matches the trailing /par=N component of the parallel-engine
+// benchmark rows (BenchmarkTickPar and friends).
+var parLabel = regexp.MustCompile(`/par=(\d+)$`)
+
+// printSpeedups derives a speedup column from benchmark rows that
+// differ only in their /par=N label: each par=N row (N > 0) is divided
+// by its par=0 sibling's cycles/sec. On a multi-core host this is the
+// parallel engine's realized speedup; on a single-core host it reads
+// below 1.0x and quantifies barrier overhead instead.
+func printSpeedups(entries []BenchEntry) {
+	byName := map[string]BenchEntry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	for _, e := range entries {
+		m := parLabel.FindStringSubmatch(e.Name)
+		if m == nil || m[1] == "0" {
+			continue
+		}
+		stem := strings.TrimSuffix(e.Name, m[0])
+		serial, ok := byName[stem+"/par=0"]
+		if !ok {
+			continue
+		}
+		pv, sv := e.Metrics["cycles/sec"], serial.Metrics["cycles/sec"]
+		if pv <= 0 || sv <= 0 {
+			continue
+		}
+		fmt.Printf("SPEEDUP  %-45s par=%-3s %5.2fx (%.4g vs %.4g cycles/sec serial)\n",
+			stem, m[1], pv/sv, pv, sv)
+	}
 }
 
 func relChange(base, cur float64) float64 {

@@ -100,6 +100,7 @@ func record(args []string) {
 	topoName := fs.String("topo", "mesh", "fabric topology: mesh|torus|ring")
 	width := fs.Int("width", 8, "fabric width (nodes per row)")
 	height := fs.Int("height", 8, "fabric height (rows; must be 1 for -topo ring)")
+	workers := fs.Int("workers", 0, "tick-engine workers: 0 or 1 = serial, N > 1 = sharded parallel engine (bit-identical)")
 	_ = fs.Parse(args)
 
 	cfg := powerpunch.DefaultConfig()
@@ -108,6 +109,7 @@ func record(args []string) {
 	cfg.Width, cfg.Height = *width, *height
 	cfg.WarmupCycles = 0
 	cfg.MeasureCycles = 1 << 40
+	cfg.Workers = *workers
 	net, err := powerpunch.NewNetwork(cfg)
 	if err != nil {
 		fatal(err)
@@ -155,6 +157,7 @@ func replay(args []string) {
 	topoName := fs.String("topo", "mesh", "fabric topology the trace was recorded on: mesh|torus|ring")
 	width := fs.Int("width", 8, "fabric width")
 	height := fs.Int("height", 8, "fabric height (must be 1 for -topo ring)")
+	workers := fs.Int("workers", 0, "tick-engine workers: 0 or 1 = serial, N > 1 = sharded parallel engine (bit-identical)")
 	_ = fs.Parse(args)
 
 	s, err := schemeByName(*scheme)
@@ -178,6 +181,7 @@ func replay(args []string) {
 	cfg.Width, cfg.Height = *width, *height
 	cfg.WarmupCycles = 0
 	cfg.MeasureCycles = 1 << 40
+	cfg.Workers = *workers
 	net, err := powerpunch.NewNetwork(cfg)
 	if err != nil {
 		fatal(err)

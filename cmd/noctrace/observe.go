@@ -31,6 +31,7 @@ type simFlags struct {
 	topo    *string
 	width   *int
 	height  *int
+	workers *int
 }
 
 func addSimFlags(fs *flag.FlagSet) *simFlags {
@@ -44,6 +45,7 @@ func addSimFlags(fs *flag.FlagSet) *simFlags {
 		topo:    fs.String("topo", "mesh", "fabric topology: mesh|torus|ring"),
 		width:   fs.Int("width", 8, "fabric width (nodes per row)"),
 		height:  fs.Int("height", 8, "fabric height (rows; must be 1 for -topo ring)"),
+		workers: fs.Int("workers", 0, "tick-engine workers: 0 or 1 = serial, N > 1 = sharded parallel engine (bit-identical, observed event stream included)"),
 	}
 }
 
@@ -73,6 +75,7 @@ func (sf *simFlags) build(opts ...powerpunch.Option) (*powerpunch.Network, *powe
 	cfg.Width, cfg.Height = *sf.width, *sf.height
 	cfg.WarmupCycles = *sf.warmup
 	cfg.MeasureCycles = *sf.cycles
+	cfg.Workers = *sf.workers
 	net, err := powerpunch.NewNetwork(cfg, opts...)
 	if err != nil {
 		return nil, nil, err

@@ -33,12 +33,14 @@ func main() {
 	hops := flag.Int("hops", 3, "punch hop count for fig13")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory (fig7-fig13)")
 	checks := flag.Bool("checks", false, "run with the cycle-level invariant engine enabled (slower; violations abort with a replayable artifact)")
+	workers := flag.Int("workers", 0, "tick-engine workers per simulation: 0 or 1 = serial, N > 1 = sharded parallel engine (bit-identical results)")
 	topoName := flag.String("topo", "", "fabric for the simulation-backed experiments: mesh|torus|ring (default: the paper's 8x8 mesh)")
 	width := flag.Int("width", 0, "fabric width, used with -topo (default 8)")
 	height := flag.Int("height", 0, "fabric height, used with -topo (default 8; must be 1 for -topo ring)")
 	flag.Parse()
 
 	experiments.EnableChecks = *checks
+	experiments.Workers = *workers
 
 	if *topoName != "" || *width != 0 || *height != 0 {
 		w, h := *width, *height

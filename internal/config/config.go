@@ -140,6 +140,28 @@ type Config struct {
 	MeasureCycles int64 // cycles of measured injection
 	DrainCycles   int64 // max cycles to wait for in-flight packets
 
+	// Workers selects the deterministic sharded parallel tick engine:
+	// the node set is split into Workers contiguous shards and every
+	// tick phase runs across the shards on a persistent worker pool,
+	// with cross-shard effects committed through per-worker buffers
+	// merged in fixed node order. Results are bit-identical to the
+	// serial engine (the golden differential suite asserts it). 0 or 1
+	// keeps today's single-threaded engine and its guarantees; values
+	// above the node count are clamped. See DESIGN.md §11.
+	Workers int
+
+	// RecyclePackets returns ejected packets to a free list so
+	// Network.NewPacket allocates nothing in steady state. Off by
+	// default because it changes the packet-lifetime contract: a driver
+	// that retains *flit.Packet pointers past ejection would observe a
+	// later packet's fields once the object is reused (fields stay
+	// intact until reuse — recycled packets are zeroed on reacquisition,
+	// not on release). Benchmarks and the alloc-pinning tests enable it;
+	// recycling changes no simulation state either way. Ignored (no
+	// pool exists) when Checks is set, and ejected packets handed to an
+	// NI Deliver hook are never recycled.
+	RecyclePackets bool
+
 	// FullTick disables the active-set tick scheduler and walks every
 	// router, link, and NI each cycle — the seed behaviour. The two paths
 	// are bit-identical (the golden-metrics tests assert it); FullTick
@@ -398,6 +420,16 @@ func (c *Config) Validate() error {
 	}
 	if c.CheckStallLimit < 0 {
 		return fmt.Errorf("config: CheckStallLimit must be >= 0, got %d", c.CheckStallLimit)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("config: Workers must be >= 0, got %d", c.Workers)
+	}
+	if c.Workers > 1 && c.Faults.DropRearms {
+		// The parallel engine delivers flits by having the (always
+		// re-armed) receiver pull them; with re-arms dropped the pull
+		// never happens and the engine would diverge from the serial
+		// fault behaviour instead of reproducing it.
+		return fmt.Errorf("config: the DropRearms fault requires the serial engine (Workers <= 1)")
 	}
 	return nil
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"powerpunch/internal/config"
@@ -249,6 +251,36 @@ func TestParallelForCoversAllIndices(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestParallelForPropagatesPanic(t *testing.T) {
+	// Force the concurrent path even on single-CPU machines.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	var ran int32
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic in fn was swallowed")
+		}
+		msg, ok := v.(string)
+		// Poisoning may stop earlier failing indices from running at
+		// all, so any failing index is acceptable — but the message
+		// must carry the index, the value, and (implicitly) the stack.
+		if !ok || !strings.Contains(msg, "panicked: boom ") {
+			t.Fatalf("panic value %v should carry the failing index and cause", v)
+		}
+	}()
+	// Panic on most indices: with naive recovery the feeding goroutine
+	// deadlocks once every worker has died; here workers must drain the
+	// channel and parallelFor must still return (by panicking) promptly.
+	parallelFor(64, func(i int) {
+		atomic.AddInt32(&ran, 1)
+		if i >= 7 {
+			panic(fmt.Sprintf("boom %d", i))
+		}
+	})
+	t.Fatal("parallelFor returned without panicking")
 }
 
 func TestParallelRunsAreDeterministic(t *testing.T) {

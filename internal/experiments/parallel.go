@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -9,6 +11,14 @@ import (
 // Each experiment run owns its network and RNGs, so runs are
 // independent and results stay deterministic; only wall-clock order
 // changes. fn must write results into pre-sized slots (no appends).
+//
+// A panic inside fn is captured and re-raised on the caller's
+// goroutine after every worker has finished, so a crashing experiment
+// surfaces as one panic with the offending index and original stack
+// instead of killing the process from an anonymous goroutine. When
+// several runs panic concurrently, the lowest index wins. Workers that
+// observe a recorded panic keep draining the work channel without
+// calling fn, so the feeding loop never blocks on dead workers.
 func parallelFor(n int, fn func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -20,14 +30,43 @@ func parallelFor(n int, fn func(i int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		panicIdx   = -1
+		panicVal   any
+		panicStack []byte
+	)
+	record := func(i int, v any, stack []byte) {
+		mu.Lock()
+		if panicIdx == -1 || i < panicIdx {
+			panicIdx, panicVal, panicStack = i, v, stack
+		}
+		mu.Unlock()
+	}
+	poisoned := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return panicIdx != -1
+	}
+	runOne := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				record(i, v, debug.Stack())
+			}
+		}()
+		fn(i)
+	}
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				if poisoned() {
+					continue // drain so the sender never blocks
+				}
+				runOne(i)
 			}
 		}()
 	}
@@ -36,4 +75,7 @@ func parallelFor(n int, fn func(i int)) {
 	}
 	close(next)
 	wg.Wait()
+	if panicIdx != -1 {
+		panic(fmt.Sprintf("experiments: run %d panicked: %v\n%s", panicIdx, panicVal, panicStack))
+	}
 }

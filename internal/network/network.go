@@ -59,6 +59,12 @@ type Network struct {
 	// as the differential-testing reference.
 	sched *scheduler
 
+	// par is the deterministic sharded parallel tick engine (see
+	// par.go); nil unless Cfg.Workers > 1. It composes with either
+	// scheduler: the parallel step shards the full walk under
+	// Cfg.FullTick and the active set otherwise, bit-identically.
+	par *parEngine
+
 	// pool recycles flit objects on the hot path. It is wired only when
 	// Cfg.Checks is off: the invariant engine's stall tracking compares
 	// flit pointers across cycles, which recycling would alias. Pooling
@@ -153,6 +159,7 @@ func New(cfg config.Config) (*Network, error) {
 		n.pool = flit.NewPool()
 		for _, nif := range n.NIs {
 			nif.SetPool(n.pool)
+			nif.SetPacketRecycling(cfg.RecyclePackets)
 		}
 	}
 
@@ -183,7 +190,23 @@ func New(cfg config.Config) (*Network, error) {
 			n.Checker.ObserveNI(nif)
 		}
 	}
+
+	// The parallel engine re-wires the NI pools, collectors, punch
+	// sinks, and forward hooks to per-worker lanes, so it is built last.
+	if cfg.Workers > 1 && nNodes > 1 {
+		n.par = newParEngine(n, cfg.Workers)
+	}
 	return n, nil
+}
+
+// Close releases the parallel engine's worker goroutines. A no-op on
+// serial networks; safe to call more than once. Long-lived processes
+// that build many Workers > 1 networks must call it (tests and
+// benchmarks defer it), or the workers leak.
+func (n *Network) Close() {
+	if n.par != nil {
+		n.par.Close()
+	}
 }
 
 // powerConstants adapts the default power constants to the configured
@@ -216,15 +239,22 @@ func (n *Network) NewPacket(src, dst mesh.NodeID, vn flit.VirtualNetwork, kind f
 	if kind == flit.KindData {
 		size = n.Cfg.DataPacketSize
 	}
-	return &flit.Packet{
-		ID:           n.NextPacketID(),
-		Src:          src,
-		Dst:          dst,
-		VN:           vn,
-		Kind:         kind,
-		Size:         size,
-		ResourceHint: -1,
+	var p *flit.Packet
+	switch {
+	case !n.Cfg.RecyclePackets:
+		p = new(flit.Packet)
+	case n.par != nil && n.par.workers[0].pool != nil:
+		// Draw from the destination owner's pool: the dst NI returns
+		// the packet there at ejection, closing the loop per worker.
+		p = n.par.workers[n.par.ownerOf[dst]].pool.Packet()
+	default:
+		p = n.pool.Packet() // nil pool (checked runs) falls back to new
 	}
+	p.ID = n.NextPacketID()
+	p.Src, p.Dst = src, dst
+	p.VN, p.Kind, p.Size = vn, kind, size
+	p.ResourceHint = -1
+	return p
 }
 
 // SetAccounting enables or disables energy accounting (typically enabled
@@ -239,11 +269,15 @@ func (n *Network) SetAccounting(v bool) {
 }
 
 // Step advances the network one cycle: the full walk under Cfg.FullTick,
-// the active-set path otherwise. The two are bit-identical.
+// the active-set path otherwise, sharded across workers when
+// Cfg.Workers > 1. All paths are bit-identical.
 func (n *Network) Step() {
-	if n.sched == nil {
+	switch {
+	case n.par != nil:
+		n.par.step()
+	case n.sched == nil:
 		n.stepFull()
-	} else {
+	default:
 		n.stepActive()
 	}
 }

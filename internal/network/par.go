@@ -1,0 +1,843 @@
+package network
+
+// The deterministic sharded parallel tick engine (DESIGN.md §11).
+//
+// Config.Workers > 1 selects this engine: the node set is split into
+// contiguous shards, one per worker, and each of the nine tick phases
+// runs in parallel across the shards with barriers between groups of
+// phases (sections). The result is bit-identical to the serial engines
+// — including floating-point accumulation order, event order, and
+// statistics sample order — because
+//
+//   - every mutation inside a worker section touches only state with a
+//     single writer (own routers/NIs, own scratch, the uniquely-paired
+//     link pipes and credit counters across a port), and
+//   - every cross-shard effect (punch fabric signals, observability
+//     events, scheduler arms, Deliver callbacks, flit-pool returns) is
+//     captured in per-worker buffers and replayed by the coordinator in
+//     worker-major order — which, with contiguous shards, is exactly
+//     the serial engines' ascending-node order.
+//
+// Barrier placement per cycle (active-set form; the FullTick form is
+// identical minus the scheduler interactions):
+//
+//	coordinator  flush, eager syncAll(now-1)
+//	section A    pull-deliver flits, push credits, eject      [barrier]
+//	coordinator  replay eject events, Deliver calls, flush
+//	section A2   NI punch signals, router punch emission      [barrier]
+//	             (fused into A when no Deliver hook is set)
+//	coordinator  replay punch ops into the real fabric, Fabric.Step,
+//	             arm held nodes, flush
+//	section B    mask, router pipelines, NI injection         [barrier]
+//	coordinator  replay pipeline+inject events, replay arms, flush
+//	section C1   WU want levels (+ collect wanted-neighbour arms)
+//	                                                          [barrier]
+//	coordinator  replay arms, flush
+//	section C2   wakeup levels, PG controller steps, static-power
+//	             ticks                                        [barrier]
+//	coordinator  replay controller events, TickCycle, fold counter
+//	             lanes, merge collector lanes, drain flit returns,
+//	             invariant checks, endCycle
+//
+// The eager syncAll at the top of each cycle is what makes the worker
+// sections race-free against the scheduler: every parked node's catch-up
+// charges are applied before the sections start, so the catchUp calls
+// inside maskBlocked become read-only early returns. Catch-up replays
+// the identical per-cycle operations whether batched or not, so the
+// eager form changes no state relative to the serial engine.
+//
+// Flit and packet pools are per worker. Packets are keyed by the owner
+// of their destination on both ends (NewPacket draws from the dst
+// owner's pool; the dst NI returns them), a closed loop. Flit objects
+// are keyed by the owner of their source (injection draws them); at
+// ejection the destination worker defers each flit into a per-worker-
+// pair return queue and the coordinator drains the queues in fixed
+// (target, source) order — so steady state allocates nothing under any
+// traffic pattern, and pool state stays deterministic.
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"powerpunch/internal/flit"
+	"powerpunch/internal/mesh"
+	"powerpunch/internal/ni"
+	"powerpunch/internal/obs"
+	"powerpunch/internal/pg"
+	"powerpunch/internal/router"
+	"powerpunch/internal/stats"
+)
+
+// Section identifiers dispatched to workers.
+const (
+	secExit int32 = iota
+	secDeliver
+	secDeliverSignals // secDeliver + secSignals fused (no Deliver hooks)
+	secSignals
+	secPipeline
+	secWants
+	secCtrl
+)
+
+// punchOp is one deferred punch-fabric call.
+type punchOp struct {
+	kind uint8
+	a, b mesh.NodeID
+}
+
+const (
+	opEmitLocal uint8 = iota
+	opHoldLocal
+	opEmitSource
+)
+
+// punchSink is one worker's punch-fabric facade. During a section it
+// defers every call into the worker's op buffers (sigOps for the NI
+// signal phase, emitOps for the router emission phase) for worker-major
+// replay into the real fabric. Outside sections — driver-time Announce
+// and Submit paths — it forwards directly, preserving the serial
+// engine's event stamping (driver-time punch events carry the previous
+// cycle's stamp because SetNow has not run yet).
+type punchSink struct{ w *parWorker }
+
+func (ps *punchSink) EmitLocal(src, dst mesh.NodeID) {
+	if !ps.w.eng.inSection {
+		ps.w.eng.n.Fabric.EmitLocal(src, dst)
+		return
+	}
+	ps.w.sigOps = append(ps.w.sigOps, punchOp{opEmitLocal, src, dst})
+}
+
+func (ps *punchSink) HoldLocal(n mesh.NodeID) {
+	if !ps.w.eng.inSection {
+		ps.w.eng.n.Fabric.HoldLocal(n)
+		return
+	}
+	ps.w.sigOps = append(ps.w.sigOps, punchOp{opHoldLocal, n, n})
+}
+
+func (ps *punchSink) EmitSource(cur, dst mesh.NodeID) {
+	ps.w.emitOps = append(ps.w.emitOps, punchOp{opEmitSource, cur, dst})
+}
+
+// flitSink routes an ejected flit back toward the pool of the worker
+// that owns the flit's source node, via the ejecting worker's per-pair
+// return queue (drained by the coordinator in fixed order).
+type flitSink struct{ w *parWorker }
+
+func (fs *flitSink) RecycleFlit(f *flit.Flit, src mesh.NodeID) {
+	tw := fs.w.eng.ownerOf[src]
+	fs.w.flitRet[tw] = append(fs.w.flitRet[tw], f)
+}
+
+// deferredDeliver is one buffered NI Deliver callback.
+type deferredDeliver struct {
+	nif *ni.NI
+	p   *flit.Packet
+	at  int64
+}
+
+// parWorker is one shard's execution context. Worker 0 is the
+// coordinator running inline; workers 1..nw-1 are goroutines.
+type parWorker struct {
+	eng    *parEngine
+	id     int
+	lo, hi int32 // owned node range [lo, hi)
+
+	wakeCh chan struct{}
+
+	// Lane sinks: events, statistics, flit/packet pool.
+	rec  *obs.Recorder    // nil without an observer
+	bus  *obs.Bus         // lane bus feeding rec; nil without an observer
+	col  *stats.Collector // lane collector, merged each cycle
+	pool *flit.Pool       // nil on checked runs
+
+	sink     punchSink
+	flitRec  flitSink
+	sigOps   []punchOp
+	emitOps  []punchOp
+	arms     []mesh.NodeID
+	delivs   []deferredDeliver
+	flitRet  [][]*flit.Flit // indexed by target worker
+	marks    [4]int         // recorder cuts: A, B1, B2, C
+
+	// Per-worker drain scratch (the parallel deliverNode).
+	flitBuf []router.FlitInTransit
+	credBuf []router.Credit
+
+	panicked   bool
+	panicVal   any
+	panicStack []byte
+}
+
+// parEngine drives the worker pool. It lives on the Network when
+// Config.Workers > 1.
+type parEngine struct {
+	n       *Network
+	workers []*parWorker
+	ownerOf []int32 // node -> worker
+
+	realBus *obs.Bus // set by Observe; replay target
+
+	// inSection tells the punch sinks whether to defer (worker context)
+	// or forward (driver/coordinator context). Written by the
+	// coordinator only, outside sections; the dispatch atomics order it
+	// for the workers.
+	inSection  bool
+	hasDeliver bool
+
+	// Dispatch state. sect and cycle are plain fields published to the
+	// workers by the epoch increment and read back after the pending
+	// count reaches zero.
+	sect    int32
+	cycle   int64
+	epoch   atomic.Uint64
+	pending atomic.Int32
+	doneCh  chan struct{}
+
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newParEngine(n *Network, workers int) *parEngine {
+	nNodes := n.M.NumNodes()
+	nw := workers
+	if nw > nNodes {
+		nw = nNodes
+	}
+	e := &parEngine{n: n, doneCh: make(chan struct{}, 1)}
+	e.ownerOf = make([]int32, nNodes)
+	base, rem := nNodes/nw, nNodes%nw
+	lo := 0
+	for wid := 0; wid < nw; wid++ {
+		size := base
+		if wid < rem {
+			size++
+		}
+		w := &parWorker{
+			eng:    e,
+			id:     wid,
+			lo:     int32(lo),
+			hi:     int32(lo + size),
+			wakeCh: make(chan struct{}, 1),
+			col:    stats.New(n.Col.MeasureStart, n.Col.MeasureEnd),
+		}
+		w.sink.w = w
+		w.flitRec.w = w
+		w.flitRet = make([][]*flit.Flit, 0) // sized below once nw is final
+		for i := lo; i < lo+size; i++ {
+			e.ownerOf[i] = int32(wid)
+		}
+		e.workers = append(e.workers, w)
+		lo += size
+	}
+	for _, w := range e.workers {
+		w.flitRet = make([][]*flit.Flit, nw)
+	}
+
+	n.Acct.SetLanes(e.ownerOf, nw)
+
+	for i, nif := range n.NIs {
+		w := e.workers[e.ownerOf[i]]
+		nif.SetCollector(w.col)
+		if n.Fabric != nil {
+			nif.SetPunchFabric(&w.sink)
+		}
+		nif := nif
+		nif.SetDeliverDefer(func(p *flit.Packet, at int64) {
+			w.delivs = append(w.delivs, deferredDeliver{nif, p, at})
+		})
+	}
+	if !n.Cfg.Checks {
+		for _, w := range e.workers {
+			w.pool = flit.NewPool()
+		}
+		for i, nif := range n.NIs {
+			w := e.workers[e.ownerOf[i]]
+			nif.SetPool(w.pool)
+			nif.SetFlitRecycler(&w.flitRec)
+			nif.SetPacketRecycling(n.Cfg.RecyclePackets)
+		}
+	}
+	if n.sched != nil {
+		for i, r := range n.Routers {
+			w := e.workers[e.ownerOf[i]]
+			r.SetForwardHook(func(id mesh.NodeID) { w.arms = append(w.arms, id) })
+		}
+	}
+
+	for _, w := range e.workers[1:] {
+		e.wg.Add(1)
+		go e.workerLoop(w)
+	}
+	return e
+}
+
+// installLaneBuses gives every worker a recording lane bus and points
+// the routers, PG controllers, and NIs of its shard at it; the punch
+// fabric keeps the real bus (its emissions already happen on the
+// coordinator, in serial order). Called by Observe.
+func (e *parEngine) installLaneBuses(real *obs.Bus) {
+	e.realBus = real
+	n := e.n
+	for _, w := range e.workers {
+		w.rec = &obs.Recorder{}
+		w.bus = obs.NewBus(real.Meta())
+		w.bus.Attach(w.rec)
+		for i := w.lo; i < w.hi; i++ {
+			n.Routers[i].SetBus(w.bus)
+			n.Routers[i].Ctrl.SetBus(w.bus, i)
+			n.NIs[i].SetBus(w.bus)
+		}
+	}
+}
+
+// Close shuts the worker goroutines down. Idempotent; the engine is
+// unusable afterwards.
+func (e *parEngine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if len(e.workers) > 1 {
+		e.sect = secExit
+		e.epoch.Add(1)
+		for _, w := range e.workers[1:] {
+			select {
+			case w.wakeCh <- struct{}{}:
+			default:
+			}
+		}
+		e.wg.Wait()
+	}
+}
+
+// workerLoop is the body of workers 1..nw-1: wait for a dispatch, run
+// the section over the own shard, signal completion. Waiting spins
+// briefly (yielding) before parking on the wake channel; the
+// coordinator's unconditional post-dispatch token makes the park
+// race-free (a stale token only causes one extra epoch re-check).
+func (e *parEngine) workerLoop(w *parWorker) {
+	defer e.wg.Done()
+	var last uint64
+	for {
+		spins := 0
+		for e.epoch.Load() == last {
+			spins++
+			if spins < 128 {
+				runtime.Gosched()
+				continue
+			}
+			<-w.wakeCh
+		}
+		last = e.epoch.Load()
+		if e.sect == secExit {
+			return
+		}
+		w.run(e.sect, e.cycle)
+		if e.pending.Add(-1) == 0 {
+			select {
+			case e.doneCh <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// runSection dispatches one section to all workers, runs shard 0
+// inline, waits for the barrier, and re-raises the first worker panic
+// (lowest worker index) on the caller's goroutine.
+func (e *parEngine) runSection(sec int32, now int64) {
+	nw := len(e.workers)
+	if nw > 1 {
+		e.sect, e.cycle = sec, now
+		e.pending.Store(int32(nw - 1))
+		e.epoch.Add(1)
+		for _, w := range e.workers[1:] {
+			select {
+			case w.wakeCh <- struct{}{}:
+			default:
+			}
+		}
+	}
+	e.workers[0].run(sec, now)
+	if nw > 1 {
+		for e.pending.Load() != 0 {
+			select {
+			case <-e.doneCh:
+			default:
+				runtime.Gosched()
+			}
+		}
+		select { // drain a stale completion token
+		case <-e.doneCh:
+		default:
+		}
+	}
+	for _, w := range e.workers {
+		if w.panicked {
+			w.panicked = false
+			panic(fmt.Sprintf("network: parallel worker %d panicked: %v\n%s",
+				w.id, w.panicVal, w.panicStack))
+		}
+	}
+}
+
+// run executes one section over the worker's shard, capturing panics
+// for deferred re-raise (a panic escaping a worker goroutine would kill
+// the process without unwinding the coordinator).
+func (w *parWorker) run(sec int32, now int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.panicked, w.panicVal, w.panicStack = true, r, debug.Stack()
+		}
+	}()
+	switch sec {
+	case secDeliver:
+		w.secDeliver(now)
+	case secDeliverSignals:
+		w.secDeliver(now)
+		w.secSignals(now)
+	case secSignals:
+		w.secSignals(now)
+	case secPipeline:
+		w.secPipeline(now)
+	case secWants:
+		w.secWants(now)
+	case secCtrl:
+		w.secCtrl(now)
+	}
+}
+
+// first and after iterate the worker's share of the node set: the
+// shard's slice of the active set under the scheduler, the full shard
+// range under FullTick. The active bitset is frozen during sections
+// (activations only append to the pending list), so concurrent reads
+// are safe.
+func (w *parWorker) first() int32 {
+	if s := w.eng.n.sched; s != nil {
+		if i := s.next(w.lo); i != -1 && i < w.hi {
+			return i
+		}
+		return -1
+	}
+	if w.lo < w.hi {
+		return w.lo
+	}
+	return -1
+}
+
+func (w *parWorker) after(i int32) int32 {
+	if s := w.eng.n.sched; s != nil {
+		if j := s.next(i + 1); j != -1 && j < w.hi {
+			return j
+		}
+		return -1
+	}
+	if i+1 < w.hi {
+		return i + 1
+	}
+	return -1
+}
+
+// secDeliver is phase 1 in pull form: instead of each sender pushing
+// into downstream buffers, each receiver drains the upstream pipes
+// facing it. The two forms deliver the identical flit multiset — a
+// non-empty pipe's receiver is always in the active set (the forward
+// hook armed it at push time; DropRearms, which breaks that, is
+// rejected with Workers > 1) — and pipe/port/VC state is identical
+// because each pipe and each credit counter has exactly one writer.
+func (w *parWorker) secDeliver(now int64) {
+	n := w.eng.n
+	for i := w.first(); i != -1; i = w.after(i) {
+		r := n.Routers[i]
+		// Incoming flits from each upstream neighbour.
+		for _, d := range mesh.LinkDirections {
+			nb := n.nbr[i][d]
+			if nb == mesh.Invalid {
+				continue
+			}
+			op := n.Routers[nb].Out(d.Opposite())
+			if op.FlitOut.Empty() {
+				continue
+			}
+			w.flitBuf = op.FlitOut.DrainAppend(now, w.flitBuf[:0])
+			for _, ft := range w.flitBuf {
+				r.ReceiveFlit(d, ft.VC, ft.Flit, now)
+			}
+		}
+		// Local ejection into the own NI.
+		if op := r.Out(mesh.Local); !op.FlitOut.Empty() {
+			nif := n.NIs[i]
+			w.flitBuf = op.FlitOut.DrainAppend(now, w.flitBuf[:0])
+			for _, ft := range w.flitBuf {
+				nif.ReceiveEject(ft, now)
+			}
+		}
+		// Outgoing credits to the upstream routers (single writer: only
+		// the node across a port feeds that port's credit counters).
+		for p := 0; p < mesh.NumPorts; p++ {
+			d := mesh.Direction(p)
+			ip := r.In(d)
+			if ip.CreditOut.Empty() {
+				continue
+			}
+			if d == mesh.Local {
+				nif := n.NIs[i]
+				w.credBuf = ip.CreditOut.DrainAppend(now, w.credBuf[:0])
+				for _, c := range w.credBuf {
+					nif.ReceiveCredit(c.VC)
+				}
+				continue
+			}
+			nb := n.nbr[i][d]
+			if nb == mesh.Invalid {
+				continue
+			}
+			up := n.Routers[nb]
+			toward := d.Opposite()
+			w.credBuf = ip.CreditOut.DrainAppend(now, w.credBuf[:0])
+			for _, c := range w.credBuf {
+				up.ReceiveCredit(toward, c.VC)
+			}
+		}
+	}
+	if w.rec != nil {
+		w.marks[0] = w.rec.Mark()
+	}
+}
+
+// secSignals is phases 2 and 3's emission half: NI punch signalling and
+// router punch emission, both deferred into op buffers (the fabric
+// itself is stepped by the coordinator after worker-major replay).
+func (w *parWorker) secSignals(now int64) {
+	n := w.eng.n
+	for i := w.first(); i != -1; i = w.after(i) {
+		n.NIs[i].StepSignals(now)
+	}
+	if n.Fabric != nil {
+		for i := w.first(); i != -1; i = w.after(i) {
+			n.Routers[i].EmitPunches(&w.sink)
+		}
+	}
+}
+
+// secPipeline is phases 4-6: output masking, router pipelines, NI
+// injection. Controllers and neighbour output pipes are frozen for the
+// whole section, so the mask and pipeline reads are race-free; forward-
+// hook arms land in the worker's arm buffer.
+func (w *parWorker) secPipeline(now int64) {
+	n := w.eng.n
+	for i := w.first(); i != -1; i = w.after(i) {
+		n.maskBlocked(n.Routers[i])
+	}
+	for i := w.first(); i != -1; i = w.after(i) {
+		n.Routers[i].Step(now)
+	}
+	if w.rec != nil {
+		w.marks[1] = w.rec.Mark()
+	}
+	for i := w.first(); i != -1; i = w.after(i) {
+		n.NIs[i].StepInject(now)
+	}
+	if w.rec != nil {
+		w.marks[2] = w.rec.Mark()
+	}
+}
+
+// secWants is the WU-level half of phase 7: compute each own router's
+// want levels and collect the wanted-neighbour arms the serial engine
+// would apply inline.
+func (w *parWorker) secWants(now int64) {
+	n := w.eng.n
+	early := n.Cfg.Scheme.UsesEarlyWakeup()
+	sched := n.sched
+	for i := w.first(); i != -1; i = w.after(i) {
+		r := n.Routers[i]
+		if early {
+			r.WantsOutput(&n.wants[i])
+		} else {
+			r.WantsOutputAtSA(&n.wants[i], now)
+		}
+		if sched == nil || r.Empty() {
+			continue
+		}
+		for _, d := range mesh.LinkDirections {
+			if n.wants[i][d] {
+				if nb := n.nbr[i][d]; nb != mesh.Invalid {
+					w.arms = append(w.arms, nb)
+				}
+			}
+		}
+	}
+}
+
+// secCtrl is the rest of phase 7 plus phase 8: wakeup levels (own NI +
+// frozen neighbour wants), PG controller steps (neighbour pipes and the
+// fabric's hold state are frozen), and the static-power tick.
+func (w *parWorker) secCtrl(now int64) {
+	n := w.eng.n
+	if n.Cfg.Scheme.UsesPowerGating() {
+		for i := w.first(); i != -1; i = w.after(i) {
+			wu := n.NIs[i].WantsWakeup()
+			if !wu {
+				for _, d := range mesh.LinkDirections {
+					nb := n.nbr[i][d]
+					if nb == mesh.Invalid {
+						continue
+					}
+					if n.wants[nb][d.Opposite()] {
+						wu = true
+						break
+					}
+				}
+			}
+			n.wakeups[i] = wu
+		}
+		for i := w.first(); i != -1; i = w.after(i) {
+			r := n.Routers[i]
+			empty := r.Empty() && n.incomingQuiet(r)
+			hold := false
+			if n.Fabric != nil {
+				hold = n.Fabric.Hold(r.ID)
+			}
+			if n.wakeups[i] && n.Acct.Enabled() {
+				n.Acct.WakeupSignal(int(i))
+			}
+			r.Ctrl.Step(pg.Inputs{Empty: empty, Wakeup: n.wakeups[i], PunchHold: hold})
+		}
+	}
+	for i := w.first(); i != -1; i = w.after(i) {
+		n.Acct.TickStatic(int(i), routerPowerState(n.Routers[i].Ctrl))
+	}
+	if w.rec != nil {
+		w.marks[3] = w.rec.Mark()
+	}
+}
+
+// replayCut re-emits the events of one recorder cut onto the real bus,
+// worker-major — the serial engines' ascending-node order, since shards
+// are contiguous. Emit restamps the cycle (the lane clocks are kept in
+// step anyway, because emitters derive event payloads from bus.Now()).
+func (e *parEngine) replayCut(cut int) {
+	if e.realBus == nil {
+		return
+	}
+	for _, w := range e.workers {
+		lo := 0
+		if cut > 0 {
+			lo = w.marks[cut-1]
+		}
+		events := w.rec.Slice(lo, w.marks[cut])
+		for i := range events {
+			e.realBus.Emit(events[i])
+		}
+	}
+}
+
+// replayDelivers runs the buffered NI Deliver callbacks in ascending
+// node order, on the coordinator — protocol handlers observe the exact
+// serial call order, and their submissions (NewPacket, Submit) run in
+// the single-threaded context they expect.
+func (e *parEngine) replayDelivers() {
+	for _, w := range e.workers {
+		for j := range w.delivs {
+			d := &w.delivs[j]
+			d.nif.Deliver(d.p, d.at)
+			*d = deferredDeliver{}
+		}
+		w.delivs = w.delivs[:0]
+	}
+}
+
+// replayPunchOps applies the deferred punch-fabric calls to the real
+// fabric: all NI signal ops (phase 2), then all router emissions
+// (phase 3), each worker-major. Order matters — per-node pending lists,
+// strict-port arbitration, and event emission all follow call order.
+func (e *parEngine) replayPunchOps() {
+	fab := e.n.Fabric
+	for _, w := range e.workers {
+		for _, op := range w.sigOps {
+			if op.kind == opEmitLocal {
+				fab.EmitLocal(op.a, op.b)
+			} else {
+				fab.HoldLocal(op.a)
+			}
+		}
+		w.sigOps = w.sigOps[:0]
+	}
+	for _, w := range e.workers {
+		for _, op := range w.emitOps {
+			fab.EmitSource(op.a, op.b)
+		}
+		w.emitOps = w.emitOps[:0]
+	}
+}
+
+// replayArms feeds the buffered activation attempts through the
+// scheduler, worker-major. Every attempt is replayed (no dedup in the
+// buffers) so the inSet guard runs exactly as it would have inline.
+func (e *parEngine) replayArms(s *scheduler) {
+	for _, w := range e.workers {
+		for _, id := range w.arms {
+			s.activate(int32(id), true)
+		}
+		w.arms = w.arms[:0]
+	}
+}
+
+// drainFlitReturns returns every deferred ejected flit to the pool of
+// the worker owning its source node, in fixed (target, source) order,
+// keeping pool contents deterministic.
+func (e *parEngine) drainFlitReturns() {
+	if e.workers[0].pool == nil {
+		return
+	}
+	for tw, wt := range e.workers {
+		for _, ws := range e.workers {
+			q := ws.flitRet[tw]
+			for j, f := range q {
+				wt.pool.PutFlit(f)
+				q[j] = nil
+			}
+			ws.flitRet[tw] = q[:0]
+		}
+	}
+}
+
+// step advances the network one cycle on the parallel engine. The
+// structure mirrors stepActive/stepFull phase for phase; see the file
+// comment for the barrier placement rationale.
+func (e *parEngine) step() {
+	n := e.n
+	now := n.now
+	s := n.sched
+	if n.bus != nil {
+		n.bus.SetNow(now)
+	}
+
+	// Per-cycle housekeeping: recompute the Deliver-hook flag (it is a
+	// settable public field), refresh lane sample-keeping, reset the
+	// lane recorders.
+	e.hasDeliver = false
+	for _, nif := range n.NIs {
+		if nif.Deliver != nil {
+			e.hasDeliver = true
+			break
+		}
+	}
+	keep := n.Col.KeepingSamples()
+	for _, w := range e.workers {
+		if w.col.KeepingSamples() != keep {
+			w.col.KeepSamples(keep)
+		}
+		if w.rec != nil {
+			w.rec.Reset()
+			// Lane clocks track the real bus: emitters compute event
+			// payloads from bus.Now() (e.g. the KindPGGate active-period
+			// length), so lanes must read the same cycle the real bus
+			// does. Event cycle stamps would be correct either way —
+			// replay restamps them — but payloads are recorded verbatim.
+			w.bus.SetNow(now)
+		}
+	}
+
+	if s != nil {
+		// Arm driver-submitted work, then eagerly apply every parked
+		// node's catch-up charges so the in-section catchUp calls
+		// (maskBlocked) are read-only no-ops.
+		s.flush(now)
+		s.syncAll(now - 1)
+	}
+
+	// Phase 1 (+2/3 emission when fused): deliver, signal, emit.
+	e.inSection = true
+	if e.hasDeliver {
+		e.runSection(secDeliver, now)
+		e.inSection = false
+		e.replayCut(0)
+		e.replayDelivers()
+		if s != nil {
+			s.flush(now)
+		}
+		e.inSection = true
+		e.runSection(secSignals, now)
+		e.inSection = false
+	} else {
+		e.runSection(secDeliverSignals, now)
+		e.inSection = false
+		e.replayCut(0)
+		if s != nil {
+			s.flush(now)
+		}
+	}
+
+	// Phase 3's fabric half, on the real fabric in serial order.
+	if n.Fabric != nil {
+		e.replayPunchOps()
+		if s == nil {
+			n.Fabric.Step()
+		} else if n.Fabric.NeedsStep() {
+			n.Fabric.Step()
+			for _, id := range n.Fabric.Held() {
+				s.activate(int32(id), true)
+			}
+			s.flush(now)
+		}
+	}
+
+	// Phases 4-6: mask, pipelines, injection.
+	e.inSection = true
+	e.runSection(secPipeline, now)
+	e.inSection = false
+	e.replayCut(1)
+	e.replayCut(2)
+	if s != nil {
+		e.replayArms(s)
+		s.flush(now)
+	}
+
+	// Phase 7: want levels, then (after the wanted neighbours joined)
+	// wakeups and controller steps; phase 8 static ticks ride along.
+	if n.Cfg.Scheme.UsesPowerGating() {
+		e.inSection = true
+		e.runSection(secWants, now)
+		e.inSection = false
+		if s != nil {
+			e.replayArms(s)
+			s.flush(now)
+		}
+	}
+	e.inSection = true
+	e.runSection(secCtrl, now)
+	e.inSection = false
+	e.replayCut(3)
+
+	n.Acct.TickCycle()
+	n.Acct.FoldLanes()
+	for _, w := range e.workers {
+		n.Col.Merge(w.col)
+	}
+	e.drainFlitReturns()
+
+	// Phase 9: invariant checks, serial on the coordinator.
+	if n.Checker != nil {
+		if s != nil {
+			s.syncAll(now)
+		}
+		if v := n.Checker.EndCycle(now); v != nil {
+			n.reportViolation(v)
+		}
+	}
+
+	if s != nil {
+		s.endCycle(now)
+	}
+	if n.bus != nil {
+		n.bus.EndCycle()
+	}
+	n.now = now + 1
+}

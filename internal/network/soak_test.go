@@ -6,6 +6,8 @@ import (
 
 	"powerpunch/internal/check"
 	"powerpunch/internal/config"
+	"powerpunch/internal/flit"
+	"powerpunch/internal/mesh"
 )
 
 // TestSoakLongRun exercises 60k cycles of mixed traffic on an 8x8 mesh
@@ -40,6 +42,115 @@ func TestSoakLongRun(t *testing.T) {
 			t.Fatalf("soak lost packet %v", p)
 		}
 	}
+}
+
+// TestSoakParallel is the parallel-engine soak (Makefile `soak-par`,
+// run under the race detector in CI): every scheme on every fabric on
+// the sharded engine with the invariant engine sweeping every cycle,
+// then a longer recycled high-load leg at eight workers. The golden
+// differential suite proves the engine bit-identical; this soak's job
+// is liveness and data-race coverage — section bodies, barrier
+// handoffs, replay buffers, and the per-worker pools all run under
+// -race with checks observing every NI.
+func TestSoakParallel(t *testing.T) {
+	fabrics := []struct {
+		topo          string
+		width, height int
+	}{
+		{"mesh", 8, 8},
+		{"torus", 4, 4},
+		{"ring", 8, 1},
+	}
+	for _, fab := range fabrics {
+		for _, s := range config.Schemes {
+			fab, s := fab, s
+			t.Run(fab.topo+"/"+s.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := config.Default()
+				cfg.Scheme = s
+				cfg.Topology = fab.topo
+				cfg.Width, cfg.Height = fab.width, fab.height
+				cfg.WarmupCycles = 0
+				cfg.MeasureCycles = 1 << 40
+				cfg.Checks = true
+				cfg.CheckInterval = 1
+				cfg.Workers = 4
+				n := mustNew(t, cfg)
+				defer n.Close()
+				violated := false
+				n.OnViolation = func(a *check.Artifact) {
+					violated = true
+					t.Errorf("%v/%v: %v", fab.topo, s, &a.Violation)
+				}
+				d := &randomDriver{rng: rand.New(rand.NewSource(99)), rate: 0.012, until: 4_000}
+				for cyc := 0; cyc < 4_000 && !violated; cyc++ {
+					d.Tick(n, n.Now())
+					n.Step()
+				}
+				for cyc := 0; cyc < 20_000 && !n.Quiesced(); cyc++ {
+					n.Step()
+				}
+				if !n.Quiesced() {
+					t.Fatal("parallel checked soak did not quiesce")
+				}
+				for _, p := range d.pkts {
+					if p.EjectedAt == 0 {
+						t.Fatalf("parallel soak lost packet %v", p)
+					}
+				}
+			})
+		}
+	}
+
+	// Recycled high-load leg: eight workers, packet recycling on, so the
+	// per-worker pools and the cross-shard flit-return queues churn for
+	// thousands of cycles. The driver retains no packet pointers —
+	// recycled packets are reused the moment they eject.
+	t.Run("recycled-highload", func(t *testing.T) {
+		t.Parallel()
+		cfg := config.Default()
+		cfg.Scheme = config.PowerPunchPG
+		cfg.WarmupCycles = 0
+		cfg.MeasureCycles = 1 << 40
+		cfg.Workers = 8
+		cfg.RecyclePackets = true
+		n := mustNew(t, cfg)
+		defer n.Close()
+		rng := rand.New(rand.NewSource(7))
+		injected := int64(0)
+		for cyc := 0; cyc < 12_000; cyc++ {
+			for id := mesh.NodeID(0); n.M.Contains(id); id++ {
+				if rng.Float64() >= 0.05 {
+					continue
+				}
+				dst := mesh.NodeID(rng.Intn(n.M.NumNodes()))
+				if dst == id {
+					continue
+				}
+				p := n.NewPacket(id, dst, flit.VirtualNetwork(rng.Intn(int(flit.NumVirtualNetworks))), flit.KindData)
+				n.NI(id).Submit(p, true, n.Now())
+				injected++
+			}
+			n.Step()
+			if cyc%512 == 0 {
+				n.CheckInvariants()
+			}
+		}
+		for cyc := 0; cyc < 20_000 && !n.Quiesced(); cyc++ {
+			n.Step()
+		}
+		if !n.Quiesced() {
+			t.Fatal("recycled parallel soak did not quiesce")
+		}
+		n.CheckInvariants()
+		ejected := int64(0)
+		for id := mesh.NodeID(0); n.M.Contains(id); id++ {
+			ejected += n.NI(id).Ejected
+		}
+		if ejected != injected {
+			t.Fatalf("ejected %d of %d injected packets", ejected, injected)
+		}
+	})
 }
 
 // TestSoakWithChecks is the tier-2 gate variant (Makefile `check`,

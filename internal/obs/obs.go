@@ -242,6 +242,33 @@ func (b *Bus) EndCycle() {
 	}
 }
 
+// Recorder is a Sink that buffers every event in memory, in emission
+// order, for deterministic deferred replay. The sharded parallel tick
+// engine attaches one Recorder per worker lane bus: routers, PG
+// controllers, and NIs publish into their owning worker's recorder
+// during a parallel section, and the coordinator replays the buffered
+// events onto the real bus in fixed (phase-major, worker-minor) order —
+// reproducing the serial engine's ascending-node emission order exactly.
+// Mark/Slice let the replayer split one cycle's buffer into per-phase
+// segments without per-phase sinks. The buffer's capacity is retained
+// across Reset, so steady-state recording allocates nothing.
+type Recorder struct {
+	events []Event
+}
+
+// Event implements Sink by appending a copy of e.
+func (r *Recorder) Event(e *Event) { r.events = append(r.events, *e) }
+
+// Mark returns the current buffer position (for later Slice calls).
+func (r *Recorder) Mark() int { return len(r.events) }
+
+// Slice returns the events recorded in [lo, hi). The slice aliases the
+// recorder's buffer and is valid until the next Reset.
+func (r *Recorder) Slice(lo, hi int) []Event { return r.events[lo:hi] }
+
+// Reset empties the buffer, keeping its capacity.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
 // Funnel adapts a plain function into a Sink, optionally filtered by
 // a kind mask. Useful for tests and ad-hoc probes.
 type Funnel struct {

@@ -108,16 +108,12 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.Overhead += o.Overhead
 }
 
-// Accountant accumulates energy for a network of routers. It is not
-// concurrency-safe; the simulator drives it from the single cycle loop.
-type Accountant struct {
-	C       Constants
-	enabled bool
-
-	perRouter []Breakdown
-	cycles    int64 // enabled cycles accumulated
-
-	// Event counters (for reporting and tests).
+// eventCounters is the set of integer event counters the accountant
+// exposes (embedded, so they read as Accountant fields). Integer sums
+// are order-insensitive, which is what lets the sharded parallel tick
+// engine accumulate them in per-worker lanes and fold them afterwards
+// while staying bit-identical to the serial engine.
+type eventCounters struct {
 	BufferWrites int64
 	BufferReads  int64
 	Crossbars    int64
@@ -127,6 +123,49 @@ type Accountant struct {
 	GatingEvents int64
 	GatedCycles  int64 // router-cycles spent gated
 	OnCycles     int64 // router-cycles spent on or waking
+}
+
+// add accumulates o into c.
+func (c *eventCounters) add(o *eventCounters) {
+	c.BufferWrites += o.BufferWrites
+	c.BufferReads += o.BufferReads
+	c.Crossbars += o.Crossbars
+	c.LinkHops += o.LinkHops
+	c.PunchHops += o.PunchHops
+	c.WakeupSigs += o.WakeupSigs
+	c.GatingEvents += o.GatingEvents
+	c.GatedCycles += o.GatedCycles
+	c.OnCycles += o.OnCycles
+}
+
+// counterLane is one worker's counter lane, padded so lanes on adjacent
+// cache lines do not false-share under the parallel engine.
+type counterLane struct {
+	eventCounters
+	_ [64]byte
+}
+
+// Accountant accumulates energy for a network of routers. It is not
+// concurrency-safe in general; the simulator drives it from the single
+// cycle loop. The exception is the sharded parallel tick engine: after
+// SetLanes, the integer event counters are written to per-worker lanes
+// (each router's events always come from the worker that owns it, per
+// laneOf), the per-router float accumulators stay owner-exclusive by
+// construction, and the coordinator calls FoldLanes between cycles.
+type Accountant struct {
+	C       Constants
+	enabled bool
+
+	perRouter []Breakdown
+	cycles    int64 // enabled cycles accumulated
+
+	// Event counters (for reporting and tests); embedded so they are
+	// addressable as a.BufferWrites etc. With lanes installed these are
+	// only current after FoldLanes.
+	eventCounters
+
+	lanes  []counterLane
+	laneOf []int32 // router -> lane; nil selects the direct (serial) path
 }
 
 // NewAccountant returns an accountant for n routers using constants c.
@@ -140,6 +179,41 @@ func NewAccountant(n int, c Constants) *Accountant {
 // unmeasured traffic).
 func (a *Accountant) SetEnabled(v bool) { a.enabled = v }
 
+// SetLanes installs nLanes per-worker counter lanes with the given
+// router-to-lane ownership map (nil laneOf restores the direct serial
+// path). The parallel engine calls it once at construction; each lane
+// must only ever be written by its owning worker (or by the coordinator
+// outside worker sections), and FoldLanes must run before anything reads
+// the embedded counters.
+func (a *Accountant) SetLanes(laneOf []int32, nLanes int) {
+	if laneOf == nil || nLanes <= 0 {
+		a.laneOf, a.lanes = nil, nil
+		return
+	}
+	a.laneOf = laneOf
+	a.lanes = make([]counterLane, nLanes)
+}
+
+// FoldLanes drains every lane into the embedded counters. Integer
+// addition commutes, so the fold order cannot affect the result; the
+// coordinator calls this once per cycle with all workers quiescent.
+func (a *Accountant) FoldLanes() {
+	for i := range a.lanes {
+		a.eventCounters.add(&a.lanes[i].eventCounters)
+		a.lanes[i].eventCounters = eventCounters{}
+	}
+}
+
+// counters returns the counter set router r's events accumulate into:
+// the embedded struct on the serial path, the owning worker's lane once
+// lanes are installed.
+func (a *Accountant) counters(r int) *eventCounters {
+	if a.laneOf == nil {
+		return &a.eventCounters
+	}
+	return &a.lanes[a.laneOf[r]].eventCounters
+}
+
 // Enabled reports whether accounting is active.
 func (a *Accountant) Enabled() bool { return a.enabled }
 
@@ -151,12 +225,12 @@ func (a *Accountant) TickStatic(r int, s RouterState) {
 	}
 	switch s {
 	case Gated:
-		a.GatedCycles++
+		a.counters(r).GatedCycles++
 		if a.C.GatedLeakFrac > 0 {
 			a.perRouter[r].Static += a.C.GatedLeakFrac * a.C.EStaticCycle()
 		}
 	default:
-		a.OnCycles++
+		a.counters(r).OnCycles++
 		a.perRouter[r].Static += a.C.EStaticCycle()
 	}
 }
@@ -172,7 +246,7 @@ func (a *Accountant) TickStaticN(r int, s RouterState, n int64) {
 	}
 	switch s {
 	case Gated:
-		a.GatedCycles += n
+		a.counters(r).GatedCycles += n
 		if a.C.GatedLeakFrac > 0 {
 			e := a.C.GatedLeakFrac * a.C.EStaticCycle()
 			for i := int64(0); i < n; i++ {
@@ -180,7 +254,7 @@ func (a *Accountant) TickStaticN(r int, s RouterState, n int64) {
 			}
 		}
 	default:
-		a.OnCycles += n
+		a.counters(r).OnCycles += n
 		e := a.C.EStaticCycle()
 		for i := int64(0); i < n; i++ {
 			a.perRouter[r].Static += e
@@ -204,7 +278,7 @@ func (a *Accountant) BufferWrite(r int) {
 	if !a.enabled {
 		return
 	}
-	a.BufferWrites++
+	a.counters(r).BufferWrites++
 	a.perRouter[r].Dynamic += a.C.EBufferWrite
 }
 
@@ -214,8 +288,9 @@ func (a *Accountant) Traverse(r int) {
 	if !a.enabled {
 		return
 	}
-	a.BufferReads++
-	a.Crossbars++
+	c := a.counters(r)
+	c.BufferReads++
+	c.Crossbars++
 	a.perRouter[r].Dynamic += a.C.EBufferRead + a.C.EArbitration + a.C.ECrossbar
 }
 
@@ -225,7 +300,7 @@ func (a *Accountant) LinkHop(r int) {
 	if !a.enabled {
 		return
 	}
-	a.LinkHops++
+	a.counters(r).LinkHops++
 	a.perRouter[r].Dynamic += a.C.ELink
 }
 
@@ -234,7 +309,7 @@ func (a *Accountant) PunchHop(r int) {
 	if !a.enabled {
 		return
 	}
-	a.PunchHops++
+	a.counters(r).PunchHops++
 	a.perRouter[r].Overhead += a.C.EPunchHop
 }
 
@@ -243,7 +318,7 @@ func (a *Accountant) WakeupSignal(r int) {
 	if !a.enabled {
 		return
 	}
-	a.WakeupSigs++
+	a.counters(r).WakeupSigs++
 	a.perRouter[r].Overhead += a.C.EWakeupSignal
 }
 
@@ -253,7 +328,7 @@ func (a *Accountant) GatingEvent(r int) {
 	if !a.enabled {
 		return
 	}
-	a.GatingEvents++
+	a.counters(r).GatingEvents++
 	a.perRouter[r].Overhead += a.C.EGatingOverhead()
 }
 

@@ -1,0 +1,238 @@
+package powerpunch_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"powerpunch"
+	"powerpunch/internal/traffic"
+)
+
+// runSynthetic builds a network for cfg, drives it with seeded
+// synthetic traffic, and returns the run result plus the per-router
+// report fingerprint.
+func runSynthetic(t *testing.T, cfg powerpunch.Config, pat powerpunch.TrafficPattern, load float64) (powerpunch.RunResult, string) {
+	t.Helper()
+	net, err := powerpunch.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	res := net.Run(powerpunch.NewSyntheticTraffic(pat, load, 11))
+	return res, net.Report().String()
+}
+
+// TestParallelMatchesSerial is the golden differential suite for the
+// sharded parallel tick engine: for every scheme, on every fabric, under
+// both schedulers (active-set and FullTick), the parallel engine at 2,
+// 4, and 8 workers must produce a RunResult (Detail included — the full
+// floating-point energy breakdown and exact stage decomposition) and a
+// per-router report bit-identical to the serial engine's. The parallel
+// runs also enable packet recycling, proving the pooled hot path is
+// invisible to results.
+func TestParallelMatchesSerial(t *testing.T) {
+	fabrics := []struct {
+		topo          string
+		width, height int
+	}{
+		{"mesh", 4, 4},
+		{"torus", 4, 4},
+		{"ring", 8, 1},
+	}
+	patterns := []struct {
+		name string
+		p    powerpunch.TrafficPattern
+		load float64
+	}{
+		{"uniform-0.30", powerpunch.Uniform(), 0.30},
+		{"uniform-0.02", powerpunch.Uniform(), 0.02},
+		// Hotspot concentrates ejections on one shard, exercising the
+		// cross-worker flit-return path of the per-worker pools.
+		{"hotspot-0.30", traffic.Hotspot{Node: 5, Frac: 0.5}, 0.30},
+	}
+
+	for _, fab := range fabrics {
+		for _, s := range powerpunch.Schemes {
+			for _, fullTick := range []bool{false, true} {
+				for _, pat := range patterns {
+					if pat.name == "hotspot-0.30" && (fab.topo != "mesh" || fullTick) {
+						continue // one hotspot config is enough for pool routing
+					}
+					fab, s, fullTick, pat := fab, s, fullTick, pat
+					sched := "active"
+					if fullTick {
+						sched = "full"
+					}
+					name := fmt.Sprintf("%s/%s/%s/%s", fab.topo, s, sched, pat.name)
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						cfg := powerpunch.DefaultConfig()
+						cfg.Scheme = s
+						cfg.Topology = fab.topo
+						cfg.Width, cfg.Height = fab.width, fab.height
+						cfg.WarmupCycles = 300
+						cfg.MeasureCycles = 1500
+						cfg.FullTick = fullTick
+
+						serial, serialRep := runSynthetic(t, cfg, pat.p, pat.load)
+						if serial.Summary.Ejected == 0 {
+							t.Fatalf("degenerate run, nothing ejected: %+v", serial)
+						}
+						for _, workers := range []int{2, 4, 8} {
+							pcfg := cfg
+							pcfg.Workers = workers
+							pcfg.RecyclePackets = true
+							par, parRep := runSynthetic(t, pcfg, pat.p, pat.load)
+							if par != serial {
+								t.Errorf("workers=%d result differs from serial:\nserial   %+v\nparallel %+v",
+									workers, serial, par)
+							}
+							if parRep != serialRep {
+								t.Errorf("workers=%d per-router reports differ:\nserial:\n%s\nparallel:\n%s",
+									workers, serialRep, parRep)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestParallelObservedIsGoldenIdentical proves the parallel engine's
+// deferred event replay reproduces the serial engine's event stream
+// exactly: an attached counters probe (which tallies every event kind
+// per node and derives latency splits from event payloads) must render
+// the identical report, and attaching the observer must not perturb the
+// run result.
+func TestParallelObservedIsGoldenIdentical(t *testing.T) {
+	for _, s := range []powerpunch.Scheme{powerpunch.ConvOptPG, powerpunch.PowerPunchPG} {
+		for _, fullTick := range []bool{false, true} {
+			s, fullTick := s, fullTick
+			sched := "active"
+			if fullTick {
+				sched = "full"
+			}
+			t.Run(fmt.Sprintf("%s/%s", s, sched), func(t *testing.T) {
+				t.Parallel()
+				run := func(workers int) (powerpunch.RunResult, string, string) {
+					cfg := powerpunch.DefaultConfig()
+					cfg.Scheme = s
+					cfg.Width, cfg.Height = 4, 4
+					cfg.WarmupCycles = 300
+					cfg.MeasureCycles = 1500
+					cfg.FullTick = fullTick
+					cfg.Workers = workers
+					probe := powerpunch.NewCountersProbe()
+					var trace strings.Builder
+					tw := powerpunch.NewEventTraceWriter(&trace)
+					net, err := powerpunch.NewNetwork(cfg, powerpunch.WithObserver(probe, tw))
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer net.Close()
+					res := net.Run(powerpunch.NewSyntheticTraffic(powerpunch.Uniform(), 0.30, 11))
+					if err := tw.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					var rep strings.Builder
+					if err := probe.WriteReport(&rep); err != nil {
+						t.Fatal(err)
+					}
+					return res, rep.String(), trace.String()
+				}
+				serial, serialProbe, serialTrace := run(0)
+				par, parProbe, parTrace := run(4)
+				if par != serial {
+					t.Errorf("observed parallel result differs:\nserial   %+v\nparallel %+v", serial, par)
+				}
+				if parProbe != serialProbe {
+					t.Errorf("probe reports differ:\nserial:\n%s\nparallel:\n%s", serialProbe, parProbe)
+				}
+				// The full JSONL event trace compares every event's kind,
+				// node, cycle stamp, AND payload fields — the strictest
+				// replay-order check available.
+				if parTrace != serialTrace {
+					t.Error("full event traces differ between serial and parallel runs")
+				}
+			})
+		}
+	}
+}
+
+// TestParallelWithChecks runs the parallel engine with the invariant
+// engine attached (which disables flit pooling and observes every NI)
+// and requires bit-identical results to the serial checked run — and no
+// violations from either.
+func TestParallelWithChecks(t *testing.T) {
+	for _, s := range []powerpunch.Scheme{powerpunch.PowerPunchSignal, powerpunch.PowerPunchPG} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) (powerpunch.RunResult, string) {
+				cfg := powerpunch.DefaultConfig()
+				cfg.Scheme = s
+				cfg.Width, cfg.Height = 4, 4
+				cfg.WarmupCycles = 200
+				cfg.MeasureCycles = 800
+				cfg.Checks = true
+				cfg.Workers = workers
+				return runSynthetic(t, cfg, powerpunch.Uniform(), 0.30)
+			}
+			serial, serialRep := run(0)
+			for _, workers := range []int{2, 8} {
+				par, parRep := run(workers)
+				if par != serial {
+					t.Errorf("checked workers=%d result differs:\nserial   %+v\nparallel %+v",
+						workers, serial, par)
+				}
+				if parRep != serialRep {
+					t.Errorf("checked workers=%d reports differ", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelWorkloadDeliver exercises the deferred-Deliver path: a
+// full-system CMP workload delivers every ejected packet to its
+// coherence protocol handler, whose follow-up submissions (with fresh
+// packet IDs) must observe the serial engine's exact callback order.
+func TestParallelWorkloadDeliver(t *testing.T) {
+	for _, s := range []powerpunch.Scheme{powerpunch.ConvOptPG, powerpunch.PowerPunchPG} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) (powerpunch.RunResult, int64) {
+				prof, err := powerpunch.PARSECProfile("swaptions", 2000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := powerpunch.DefaultConfig()
+				cfg.Scheme = s
+				cfg.Width, cfg.Height = 4, 4
+				cfg.WarmupCycles = 0
+				cfg.MeasureCycles = 1 << 40
+				cfg.Workers = workers
+				net, err := powerpunch.NewNetwork(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer net.Close()
+				wl := powerpunch.NewWorkload(prof, net, 1)
+				res := net.RunUntil(wl, 300_000)
+				if !res.Drained {
+					t.Fatal("workload incomplete")
+				}
+				return res, wl.ExecutionTime()
+			}
+			serial, serialExec := run(0)
+			par, parExec := run(4)
+			if par != serial || parExec != serialExec {
+				t.Errorf("workload differs:\nserial   %+v exec=%d\nparallel %+v exec=%d",
+					serial, serialExec, par, parExec)
+			}
+		})
+	}
+}

@@ -16,6 +16,13 @@
 //	drv := powerpunch.NewSyntheticTraffic(powerpunch.Uniform(), 0.02, 1)
 //	res := net.Run(drv)
 //	fmt.Println(res.Summary.AvgLatency, res.StaticSaved)
+//
+// Setting Config.Workers > 1 runs each simulation on a sharded
+// parallel tick engine whose results — metrics, reports, and the full
+// observability event stream — are bit-identical to the serial
+// engine's; Config.RecyclePackets additionally makes the steady-state
+// inject+step cycle allocation-free. Call Network.Close when done with
+// a parallel network to release its worker goroutines.
 package powerpunch
 
 import (
