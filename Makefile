@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race soak soak-obs soak-par api apicheck check fuzz clean bench bench-check
+.PHONY: build test vet race soak soak-obs soak-par soak-cmp api apicheck check fuzz clean bench bench-check
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,14 @@ soak-obs: vet
 soak-par: vet
 	$(GO) test -race -run 'TestSoakParallel' ./internal/network/
 
+# Full-system soak: one short PARSEC profile per gating scheme driven
+# to completion through the public API with the invariant engine
+# sweeping every cycle, probes attached, and the parallel engine on the
+# punch schemes — under the race detector, covering the workload's
+# delivery callbacks, delayed submissions, and event-flush buffering.
+soak-cmp: vet
+	$(GO) test -race -run 'TestSoakCMP' .
+
 # Public API surface lock: API.txt is the committed `go doc -all .`
 # golden. After a deliberate surface change, run `make api` and commit
 # the diff; `make apicheck` fails when the exported surface drifts
@@ -61,7 +69,7 @@ apicheck: build
 	fi
 
 # Tier-2: everything above plus the benchmark regression gate.
-check: vet test race soak soak-obs soak-par apicheck bench-check
+check: vet test race soak soak-obs soak-par soak-cmp apicheck bench-check
 
 # Benchmark baseline maintenance. `make bench` runs the locked tick
 # benchmarks (per scheme and load point, active-set and full-walk, with
@@ -78,7 +86,7 @@ check: vet test race soak soak-obs soak-par apicheck bench-check
 # BenchmarkTickTopo*); sub-microsecond micros (NetworkStepIdle,
 # PunchFabricStep) are too jitter-prone for a threshold gate — run
 # those by hand with `go test -bench`.
-BENCHES    ?= ^BenchmarkTick$$|^BenchmarkTickFullWalk$$|^BenchmarkTickTopo$$|^BenchmarkTickTopoFullWalk$$|^BenchmarkTickPar$$
+BENCHES    ?= ^BenchmarkTick$$|^BenchmarkTickFullWalk$$|^BenchmarkTickTopo$$|^BenchmarkTickTopoFullWalk$$|^BenchmarkTickPar$$|^BenchmarkTickCMP$$
 BENCHTIME  ?= 0.5s
 BENCHCOUNT ?= 5
 # bench-diff defaults to a 10% gate; shared development machines show

@@ -458,6 +458,45 @@ func BenchmarkPunchFabricStep(b *testing.B) {
 // BenchmarkFullSystemSwaptions measures end-to-end full-system
 // simulation throughput (cycles simulated per wall second is the
 // inverse of ns/op divided by the cycle count).
+// BenchmarkTickCMP is the locked steady-state cost of one simulated
+// cycle under the full-system CMP workload (cores ticking, coherence
+// protocol delivering, all three VNs loaded), per scheme, on the
+// paper's 8x8 mesh. The per-core instruction budget is effectively
+// infinite so the workload stays in steady state for the whole
+// measured window; `make bench-check` gates this row like the
+// synthetic tick benchmarks.
+func BenchmarkTickCMP(b *testing.B) {
+	for _, s := range []config.Scheme{config.NoPG, config.ConvOptPG, config.PowerPunchPG} {
+		s := s
+		b.Run(fmt.Sprintf("%s/canneal", s), func(b *testing.B) {
+			cfg := config.Default()
+			cfg.Scheme = s
+			cfg.WarmupCycles = 0
+			cfg.MeasureCycles = 1 << 40
+			cfg.RecyclePackets = true
+			net, err := network.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer net.Close()
+			sys := NewWorkload(parsec.MustProfile("canneal", 1<<40), net, 1)
+			for i := 0; i < 3000; i++ {
+				sys.Tick(net, net.Now())
+				net.Step()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Tick(net, net.Now())
+				net.Step()
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "cycles/sec")
+			}
+		})
+	}
+}
+
 func BenchmarkFullSystemSwaptions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := config.Default()

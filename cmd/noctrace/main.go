@@ -33,6 +33,13 @@
 //	noctrace trace -scheme PowerPunch-PG -rate 0.05 -cycles 5000 -kinds pg_wake,pg_gate,punch_emit
 //	noctrace timeline -scheme ConvOpt-PG -rate 0.02 -cycles 50000 -interval 500 -format csv -out timeline.csv
 //
+// All three observability subcommands also drive full-system
+// CMP/PARSEC workloads with -bench/-instr, including the workload's own
+// protocol events (wl_miss, wl_fill, wl_dir) in the stream:
+//
+//	noctrace trace -bench canneal -instr 20000 -kinds wl_miss,wl_fill,eject
+//	noctrace timeline -bench swaptions -scheme PowerPunch-PG -format csv -report
+//
 // Serve live metrics and profiling endpoints while a long simulation
 // runs (expvar under /debug/vars, pprof under /debug/pprof):
 //

@@ -1,7 +1,8 @@
 // The observability subcommands: stream the cycle-level event trace
 // (`trace`), export a power/activity timeline (`timeline`), and expose
 // live metrics plus profiling endpoints over HTTP (`serve`). All three
-// run a synthetic workload with observer sinks attached via
+// drive either a synthetic pattern or — with -bench — a full-system
+// CMP/PARSEC workload, with observer sinks attached via
 // powerpunch.WithObserver.
 package main
 
@@ -32,20 +33,24 @@ type simFlags struct {
 	width   *int
 	height  *int
 	workers *int
+	bench   *string
+	instr   *int64
 }
 
 func addSimFlags(fs *flag.FlagSet) *simFlags {
 	return &simFlags{
 		scheme:  fs.String("scheme", "PowerPunch-PG", "No-PG|ConvOpt-PG|PowerPunch-Signal|PowerPunch-PG"),
-		pattern: fs.String("pattern", "uniform", "synthetic pattern"),
-		rate:    fs.Float64("rate", 0.02, "offered load, flits/node/cycle"),
-		cycles:  fs.Int64("cycles", 20_000, "measured cycles"),
-		warmup:  fs.Int64("warmup", 0, "warmup cycles before measurement"),
+		pattern: fs.String("pattern", "uniform", "synthetic pattern (ignored with -bench)"),
+		rate:    fs.Float64("rate", 0.02, "offered load, flits/node/cycle (ignored with -bench)"),
+		cycles:  fs.Int64("cycles", 20_000, "measured cycles (with -bench: safety bound on the run)"),
+		warmup:  fs.Int64("warmup", 0, "warmup cycles before measurement (ignored with -bench)"),
 		seed:    fs.Int64("seed", 1, "seed"),
 		topo:    fs.String("topo", "mesh", "fabric topology: mesh|torus|ring"),
 		width:   fs.Int("width", 8, "fabric width (nodes per row)"),
 		height:  fs.Int("height", 8, "fabric height (rows; must be 1 for -topo ring)"),
 		workers: fs.Int("workers", 0, "tick-engine workers: 0 or 1 = serial, N > 1 = sharded parallel engine (bit-identical, observed event stream included)"),
+		bench:   fs.String("bench", "", "drive a full-system CMP/PARSEC workload instead of synthetic traffic (profile name, see powerpunch -list)"),
+		instr:   fs.Int64("instr", 20_000, "instructions per core for -bench"),
 	}
 }
 
@@ -59,13 +64,10 @@ func schemeByName(name string) (powerpunch.Scheme, error) {
 }
 
 // build assembles the network (observers attached at construction) and
-// the synthetic driver the flags describe.
-func (sf *simFlags) build(opts ...powerpunch.Option) (*powerpunch.Network, *powerpunch.SyntheticTraffic, error) {
+// the driver the flags describe: synthetic traffic by default, a
+// full-system CMP workload with -bench.
+func (sf *simFlags) build(opts ...powerpunch.Option) (*powerpunch.Network, powerpunch.Driver, error) {
 	s, err := schemeByName(*sf.scheme)
-	if err != nil {
-		return nil, nil, err
-	}
-	pat, err := powerpunch.PatternByName(*sf.pattern)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -76,11 +78,46 @@ func (sf *simFlags) build(opts ...powerpunch.Option) (*powerpunch.Network, *powe
 	cfg.WarmupCycles = *sf.warmup
 	cfg.MeasureCycles = *sf.cycles
 	cfg.Workers = *sf.workers
+	if *sf.bench != "" {
+		// Workload runs measure from cycle 0 until the protocol drains;
+		// -cycles only bounds the run (see sf.run).
+		cfg.WarmupCycles = 0
+		cfg.MeasureCycles = 1 << 40
+	}
 	net, err := powerpunch.NewNetwork(cfg, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
+	if *sf.bench != "" {
+		prof, err := powerpunch.PARSECProfile(*sf.bench, *sf.instr)
+		if err != nil {
+			return nil, nil, err
+		}
+		return net, powerpunch.NewWorkload(prof, net, *sf.seed), nil
+	}
+	pat, err := powerpunch.PatternByName(*sf.pattern)
+	if err != nil {
+		return nil, nil, err
+	}
 	return net, powerpunch.NewSyntheticTraffic(pat, *sf.rate, *sf.seed), nil
+}
+
+// run drives the built driver to completion: a fixed-window Run for
+// synthetic traffic, RunUntil (bounded by -cycles, floor 1M) for a
+// -bench workload.
+func (sf *simFlags) run(net *powerpunch.Network, drv powerpunch.Driver) powerpunch.RunResult {
+	if *sf.bench == "" {
+		return net.Run(drv)
+	}
+	bound := *sf.cycles
+	if bound < 1_000_000 {
+		bound = 1_000_000
+	}
+	res := net.RunUntil(drv, bound)
+	if !res.Drained {
+		fatal(fmt.Errorf("workload %s did not complete within %d cycles", *sf.bench, bound))
+	}
+	return res
 }
 
 // openOut resolves an -out flag: "-" means stdout.
@@ -97,7 +134,7 @@ func traceCmd(args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	sim := addSimFlags(fs)
 	out := fs.String("out", "-", "output JSONL file, - for stdout")
-	kinds := fs.String("kinds", "", "comma-separated event kinds to keep (empty = all): inject,vc_alloc,switch,link,eject,ni_block,pg_stall,pg_gate,pg_wake,pg_active,punch_emit,punch_local,punch_merge,punch_arrive,punch_hold")
+	kinds := fs.String("kinds", "", "comma-separated event kinds to keep (empty = all): inject,vc_alloc,switch,link,eject,ni_block,pg_stall,pg_gate,pg_wake,pg_active,punch_emit,punch_local,punch_merge,punch_arrive,punch_hold,wl_miss,wl_fill,wl_dir")
 	_ = fs.Parse(args)
 
 	w, err := openOut(*out)
@@ -123,7 +160,7 @@ func traceCmd(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	res := net.Run(drv)
+	res := sim.run(net, drv)
 	if err := tw.Flush(); err != nil {
 		fatal(err)
 	}
@@ -153,7 +190,7 @@ func timelineCmd(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	res := net.Run(drv)
+	res := sim.run(net, drv)
 
 	w, err := openOut(*out)
 	if err != nil {
@@ -248,6 +285,21 @@ func serveCmd(args []string) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
+		if wl, ok := drv.(*powerpunch.Workload); ok {
+			// Full-system workload: run until the protocol drains,
+			// publishing a snapshot each window.
+			for !wl.Done() || !net.Quiesced() {
+				for i := int64(0); i < *window && (!wl.Done() || !net.Quiesced()); i++ {
+					wl.Tick(net, net.Now())
+					net.Step()
+				}
+				publish(true)
+			}
+			publish(false)
+			fmt.Fprintf(os.Stderr, "workload completed at cycle %d (exec=%d); still serving (ctrl-c to stop)\n",
+				net.Now(), wl.ExecutionTime())
+			return
+		}
 		budget := *sim.warmup + *sim.cycles
 		for net.Now() < budget {
 			chunk := budget - net.Now()

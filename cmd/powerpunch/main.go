@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	powerpunch -fig table1|table2|fig7|fig8|fig9|fig10|fig11|fig12|fig13|scale|area|ablation|heatmap|all
+//	powerpunch -fig table1|table2|fig7|fig8|fig9|fig10|fig11|golden|fig12|fig13|scale|area|ablation|heatmap|all
 //	           [-full] [-seed N] [-bench name,name] [-hops N] [-csv dir]
 //
 // -fig accepts a comma-separated list; the full-system figures (fig7-11)
@@ -34,6 +34,8 @@ func main() {
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files into this directory (fig7-fig13)")
 	checks := flag.Bool("checks", false, "run with the cycle-level invariant engine enabled (slower; violations abort with a replayable artifact)")
 	workers := flag.Int("workers", 0, "tick-engine workers per simulation: 0 or 1 = serial, N > 1 = sharded parallel engine (bit-identical results)")
+	fullTick := flag.Bool("fulltick", false, "use the full-walk tick scheduler instead of the active-set scheduler (bit-identical results)")
+	observe := flag.Bool("probes", false, "attach the counters probe to full-system runs and report the wakeup exposed/hidden split")
 	topoName := flag.String("topo", "", "fabric for the simulation-backed experiments: mesh|torus|ring (default: the paper's 8x8 mesh)")
 	width := flag.Int("width", 0, "fabric width, used with -topo (default 8)")
 	height := flag.Int("height", 0, "fabric height, used with -topo (default 8; must be 1 for -topo ring)")
@@ -41,6 +43,8 @@ func main() {
 
 	experiments.EnableChecks = *checks
 	experiments.Workers = *workers
+	experiments.FullTick = *fullTick
+	observeFullSystem = *observe
 
 	if *topoName != "" || *width != 0 || *height != 0 {
 		w, h := *width, *height
@@ -119,12 +123,17 @@ func writeCSV(dir, name string, fn func(w *os.File) error) error {
 // within one `-fig all` invocation.
 var fullSystemCache []experiments.BenchResult
 
+// observeFullSystem mirrors the -probes flag: full-system runs attach
+// the counters probe, so fig9/fig10 can report the wakeup
+// exposed-vs-hidden split alongside the blocking averages.
+var observeFullSystem bool
+
 func fullSystem(fid experiments.Fidelity, seed int64, benches []string) ([]experiments.BenchResult, error) {
 	if fullSystemCache != nil {
 		return fullSystemCache, nil
 	}
 	res, err := experiments.RunFullSystem(experiments.FullSystemOptions{
-		Fidelity: fid, Seed: seed, Benchmarks: benches,
+		Fidelity: fid, Seed: seed, Benchmarks: benches, Observe: observeFullSystem,
 	})
 	if err == nil {
 		fullSystemCache = res
@@ -160,6 +169,16 @@ func run(id string, fid experiments.Fidelity, seed int64, benches []string, hops
 		default:
 			return experiments.FormatFig11(res), nil
 		}
+	case "golden":
+		g, err := experiments.LoadGolden()
+		if err != nil {
+			return "", err
+		}
+		res, err := experiments.RunGolden(g)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatGolden(g, res), nil
 	case "fig12":
 		pts, err := experiments.RunLoadSweep(experiments.LoadSweepOptions{Fidelity: fid, Seed: seed})
 		if err != nil {

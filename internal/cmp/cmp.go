@@ -20,6 +20,7 @@ import (
 	"powerpunch/internal/flit"
 	"powerpunch/internal/mesh"
 	"powerpunch/internal/network"
+	"powerpunch/internal/obs"
 )
 
 // MsgType enumerates protocol messages.
@@ -206,6 +207,24 @@ type System struct {
 	BankQueueCycles int64
 	MCQueueCycles   int64
 
+	// Observability. The workload publishes protocol-level events
+	// (wl_miss, wl_fill, wl_dir) onto the network's bus, alongside the
+	// injection/ejection/wakeup events the NIs and controllers already
+	// emit, so CMP runs produce the same JSONL traces synthetic runs do.
+	// Tick-time events (miss issue) go straight to the bus — Tick runs
+	// on the coordinator in every engine. Deliver-time events (directory
+	// actions, fills) are buffered in evq and flushed from the next
+	// coordinator-side hook (Done or Tick): under the sharded parallel
+	// engine the Deliver callbacks replay after the NI events of the
+	// same phase, so emitting inline would interleave differently than
+	// the serial engines. The buffer is drained at a fixed point of the
+	// run loop instead, making the event stream bit-identical across
+	// serial, FullTick, and parallel engines. The bus stamps flushed
+	// events with the cycle the deliver happened in (SetNow for the next
+	// cycle has not run yet at hook time).
+	bus *obs.Bus
+	evq []obs.Event
+
 	// Stats.
 	TotalMisses   int64
 	TotalReads    int64
@@ -259,6 +278,10 @@ func (s *System) missProb(now int64) float64 {
 // (consecutive lines streaming through the same home bank), so the
 // base-draw probability is the average divided by the burst size.
 func (s *System) Tick(n *network.Network, now int64) {
+	if s.bus == nil {
+		s.bus = n.Bus()
+	}
+	s.flushEvents()
 	burst := s.Prof.BurstSize
 	if burst < 1 {
 		burst = 1
@@ -313,6 +336,33 @@ func (s *System) issueMissTo(c *core, home mesh.NodeID, now int64) {
 	s.send(c.node, home, flit.VNRequest, flit.KindControl,
 		Msg{Type: MsgGetLine, Txn: txn, Requester: c.node, Home: home, Write: write},
 		false, s.Prof.L1Latency, now)
+	if s.bus != nil {
+		var a int64
+		if write {
+			a = 1
+		}
+		// Direct emit: Tick runs on the coordinator in every engine, so
+		// driver-time events need no buffering (same convention as the
+		// punch fabric's driver-time emissions).
+		s.bus.Emit(obs.Event{
+			Kind: obs.KindWorkloadMiss, Node: int32(c.node),
+			Dst: int32(home), VC: int16(flit.VNRequest), Pkt: txn, A: a,
+		})
+	}
+}
+
+// flushEvents drains buffered deliver-time events onto the bus. Called
+// only from coordinator-side hooks (Tick, Done) so the emission point —
+// and therefore the JSONL trace — is identical across the serial,
+// FullTick, and parallel engines; see the evq field comment.
+func (s *System) flushEvents() {
+	if s.bus == nil || len(s.evq) == 0 {
+		return
+	}
+	for i := range s.evq {
+		s.bus.Emit(s.evq[i])
+	}
+	s.evq = s.evq[:0]
 }
 
 // send builds and submits one protocol packet.
@@ -397,6 +447,12 @@ func (s *System) handleRequest(home mesh.NodeID, m Msg, now int64) {
 		s.send(home, mc, flit.VNCoherence, flit.KindControl,
 			Msg{Type: MsgMemReq, Txn: m.Txn, Requester: m.Requester, Home: home},
 			true, delay, now)
+		if s.bus != nil {
+			s.evq = append(s.evq, obs.Event{
+				Kind: obs.KindWorkloadDir, Node: int32(home),
+				Src: int32(m.Requester), Dst: int32(mc), Pkt: m.Txn, A: 2,
+			})
+		}
 		return
 	}
 	if m.Write && s.Prof.MaxSharers > 0 && s.rng.Float64() < s.Prof.invProbForWrite() {
@@ -411,12 +467,24 @@ func (s *System) handleRequest(home mesh.NodeID, m Msg, now int64) {
 				Msg{Type: MsgInv, Txn: m.Txn, Requester: m.Requester, Home: home},
 				true, delay, now)
 		}
+		if s.bus != nil {
+			s.evq = append(s.evq, obs.Event{
+				Kind: obs.KindWorkloadDir, Node: int32(home),
+				Src: int32(m.Requester), Pkt: m.Txn, A: 1, B: int64(k),
+			})
+		}
 		return
 	}
 	// Clean hit: data response after the L2 access.
 	s.send(home, m.Requester, flit.VNResponse, flit.KindData,
 		Msg{Type: MsgData, Txn: m.Txn, Requester: m.Requester, Home: home},
 		true, delay, now)
+	if s.bus != nil {
+		s.evq = append(s.evq, obs.Event{
+			Kind: obs.KindWorkloadDir, Node: int32(home),
+			Src: int32(m.Requester), Pkt: m.Txn,
+		})
+	}
 }
 
 // handleFill completes a miss at the requesting core.
@@ -427,6 +495,12 @@ func (s *System) handleFill(node mesh.NodeID, m Msg, now int64) {
 	}
 	if c.blockedOn == m.Txn {
 		c.blockedOn = 0
+	}
+	if s.bus != nil {
+		s.evq = append(s.evq, obs.Event{
+			Kind: obs.KindWorkloadFill, Node: int32(node),
+			Src: int32(m.Home), Pkt: m.Txn,
+		})
 	}
 	if s.rng.Float64() < s.Prof.WBFrac {
 		s.TotalWBs++
@@ -465,6 +539,7 @@ func (s *System) randomNodeExcept(not mesh.NodeID) mesh.NodeID {
 // has retired its budget and no directory transaction is pending. (The
 // network's quiescence check covers in-flight packets.)
 func (s *System) Done() bool {
+	s.flushEvents()
 	for _, c := range s.cores {
 		if c.finishedAt < 0 {
 			return false

@@ -64,6 +64,12 @@ func SetFabric(topology string, width, height int) error {
 	return nil
 }
 
+// FullTick switches every run launched by the experiment drivers onto
+// the full-walk scheduler (`powerpunch -fulltick`). Results are
+// bit-identical to the default active-set scheduler either way; the
+// flag exists so sweeps can cross-check the two schedulers end to end.
+var FullTick bool
+
 // applyOverrides stamps the package-wide check and fabric settings onto
 // one run's configuration; every driver funnels its config through here.
 func applyOverrides(cfg config.Config) config.Config {
@@ -72,6 +78,9 @@ func applyOverrides(cfg config.Config) config.Config {
 	}
 	if Workers > 1 {
 		cfg.Workers = Workers
+	}
+	if FullTick {
+		cfg.FullTick = true
 	}
 	if fabric.set {
 		cfg.Topology = fabric.topology
@@ -127,6 +136,14 @@ type SchemeMetrics struct {
 	AvgStaticW  float64 // watts (Figure 12, lower row)
 	Packets     int64
 	Drained     bool
+
+	// Wakeup split from the counters probe — only populated when
+	// FullSystemOptions.Observe is set. The exposed-vs-hidden ratio is
+	// the paper's §6 instrument for the "~1 vs ~4 gated routers per
+	// packet" contrast between PunchPG and ConvOpt-PG.
+	PunchWakeups int64   // wake windows triggered by punch signals
+	ConvWakeups  int64   // wake windows triggered conventionally
+	HiddenFrac   float64 // fraction of wakeup cycles hidden from traffic
 }
 
 // baseConfig returns the paper's default configuration adjusted for
@@ -193,6 +210,7 @@ func Registry() []struct{ ID, Description string } {
 		{"fig9", "Figure 9: powered-off routers encountered per packet"},
 		{"fig10", "Figure 10: cycles per packet waiting for router wakeup"},
 		{"fig11", "Figure 11: router energy breakdown (dynamic/static/overhead)"},
+		{"golden", "Section 6 headline claims vs the committed golden baseline"},
 		{"fig12", "Figure 12: latency & static power across the full load range"},
 		{"fig13", "Figure 13: wakeup-latency and pipeline sensitivity"},
 		{"scale", "Section 6.6(2): scalability across 4x4/8x8/16x16 meshes"},

@@ -7,6 +7,7 @@ import (
 	"powerpunch/internal/cmp"
 	"powerpunch/internal/config"
 	"powerpunch/internal/network"
+	"powerpunch/internal/obs"
 	"powerpunch/internal/parsec"
 )
 
@@ -22,6 +23,15 @@ type FullSystemOptions struct {
 	Benchmarks []string // defaults to parsec.Benchmarks
 	Seed       int64
 	MaxCycles  int64 // safety bound per run
+	// InstrPerCore overrides the fidelity's per-core instruction budget
+	// when positive (the golden suite pins an exact budget so its
+	// committed numbers stay meaningful across fidelity retuning).
+	InstrPerCore int64
+	// Observe attaches a counters probe to every run and fills in the
+	// wakeup-split fields of SchemeMetrics (PunchWakeups, ConvWakeups,
+	// HiddenFrac — the paper's §6 blocking analysis). Off by default:
+	// probes cost a per-event fan-out on the hot path.
+	Observe bool
 }
 
 func (o *FullSystemOptions) defaults() {
@@ -33,6 +43,9 @@ func (o *FullSystemOptions) defaults() {
 	}
 	if o.MaxCycles == 0 {
 		o.MaxCycles = 5_000_000
+	}
+	if o.InstrPerCore == 0 {
+		o.InstrPerCore = o.Fidelity.instrPerCore()
 	}
 }
 
@@ -49,7 +62,7 @@ func RunFullSystem(o FullSystemOptions) ([]BenchResult, error) {
 	parallelFor(nb*ns, func(i int) {
 		bench := o.Benchmarks[i/ns]
 		s := config.Schemes[i%ns]
-		prof, err := parsec.Profile(bench, o.Fidelity.instrPerCore())
+		prof, err := parsec.Profile(bench, o.InstrPerCore)
 		if err != nil {
 			errs[i] = err
 			return
@@ -59,6 +72,12 @@ func RunFullSystem(o FullSystemOptions) ([]BenchResult, error) {
 		if err != nil {
 			errs[i] = fmt.Errorf("experiments: %s/%v: %w", bench, s, err)
 			return
+		}
+		defer net.Close()
+		var probe *obs.Counters
+		if o.Observe {
+			probe = &obs.Counters{}
+			net.Observe(probe)
 		}
 		sys := cmp.NewSystem(prof, net, o.Seed)
 		res := net.RunUntil(sys, o.MaxCycles)
@@ -72,6 +91,11 @@ func RunFullSystem(o FullSystemOptions) ([]BenchResult, error) {
 			AvgStaticW:  res.AvgStaticW,
 			Packets:     res.Summary.Ejected,
 			Drained:     res.Drained,
+		}
+		if probe != nil {
+			metrics[i].PunchWakeups = probe.PunchWakes.Wakeups
+			metrics[i].ConvWakeups = probe.ConvWakes.Wakeups
+			metrics[i].HiddenFrac = probe.HiddenFraction()
 		}
 	})
 	for _, err := range errs {
@@ -193,7 +217,28 @@ func FormatFig9(results []BenchResult) string {
 	var b strings.Builder
 	b.WriteString("Figure 9: powered-off routers encountered per packet (paper AVG: 4.21, 1.09, 0.96)\n")
 	b.WriteString(t.String())
+	writeHiddenSplit(&b, results)
 	return b.String()
+}
+
+// writeHiddenSplit appends the counters-probe wakeup split when the
+// runs were observed (FullSystemOptions.Observe / `powerpunch -probes`);
+// without a probe the fields are zero and the line is omitted.
+func writeHiddenSplit(b *strings.Builder, results []BenchResult) {
+	observed := false
+	for _, br := range results {
+		for _, m := range br.PerScheme {
+			if m.PunchWakeups != 0 || m.ConvWakeups != 0 {
+				observed = true
+			}
+		}
+	}
+	if !observed {
+		return
+	}
+	hidden := avgOver(results, func(m SchemeMetrics) float64 { return m.HiddenFrac })
+	fmt.Fprintf(b, "wakeup cycles hidden from traffic (probe): ConvOpt=%s Signal=%s PunchPG=%s\n",
+		fmtPct(hidden[config.ConvOptPG]), fmtPct(hidden[config.PowerPunchSignal]), fmtPct(hidden[config.PowerPunchPG]))
 }
 
 // FormatFig10 renders wakeup-wait cycles per packet, the paper's
@@ -222,6 +267,7 @@ func FormatFig10(results []BenchResult) string {
 		fmt.Fprintf(&b, "PunchPG improvement over Signal: %.1f%% (paper: 36.2%%)\n",
 			(1-avg[config.PowerPunchPG]/avg[config.PowerPunchSignal])*100)
 	}
+	writeHiddenSplit(&b, results)
 	return b.String()
 }
 

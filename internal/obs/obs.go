@@ -77,6 +77,22 @@ const (
 	// KindPunchHold: Node's wake wire is held high by punch state
 	// this cycle (level signal derived from arrivals/local wires).
 	KindPunchHold
+	// KindWorkloadMiss: the core at Node issued an L1 miss into the
+	// coherence protocol. Dst = home L2 bank/directory, Pkt = protocol
+	// transaction id, VC = virtual network of the request, A = 1 for a
+	// write (GetX), 0 for a read (GetS). Emitted at driver time, so the
+	// stamp carries the previous cycle (the packet enters the NI at the
+	// cycle after the stamp), matching driver-time punch events.
+	KindWorkloadMiss
+	// KindWorkloadFill: the miss identified by Pkt completed at the
+	// core at Node (the data response arrived and the MSHR retired).
+	// Src = responding node (home bank or memory controller).
+	KindWorkloadFill
+	// KindWorkloadDir: the directory at Node acted on a request.
+	// Pkt = transaction id, Src = original requester, A = action:
+	// 0 clean L2 hit (data response), 1 invalidation round (B = sharer
+	// count), 2 L2 miss forwarded to a memory controller (Dst = MC).
+	KindWorkloadDir
 	numKinds
 )
 
@@ -87,6 +103,7 @@ var kindNames = [NumKinds]string{
 	"inject", "vc_alloc", "switch", "link", "eject", "ni_block",
 	"pg_stall", "pg_gate", "pg_wake", "pg_active",
 	"punch_emit", "punch_local", "punch_merge", "punch_arrive", "punch_hold",
+	"wl_miss", "wl_fill", "wl_dir",
 }
 
 // String returns the stable snake_case name used in JSONL traces.

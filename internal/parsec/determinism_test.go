@@ -1,0 +1,62 @@
+package parsec
+
+import (
+	"fmt"
+	"testing"
+
+	"powerpunch/internal/cmp"
+	"powerpunch/internal/config"
+	"powerpunch/internal/network"
+)
+
+// TestProfilesAreSeedDeterministic mirrors the synthetic determinism
+// suite for the full-system path: a CMP run built from the same
+// profile, configuration, and seed must reproduce the RunResult —
+// Detail included, the full floating-point energy breakdown — the
+// execution time, and the protocol statistics byte for byte. The
+// golden full-system baseline (internal/experiments/golden) rests on
+// this property; any hidden nondeterminism in the workload (map
+// iteration, shared RNG misuse) shows up here first.
+func TestProfilesAreSeedDeterministic(t *testing.T) {
+	for _, b := range Benchmarks {
+		b := b
+		t.Run(b, func(t *testing.T) {
+			t.Parallel()
+			run := func() (network.RunResult, int64, string) {
+				cfg := config.Default()
+				cfg.Scheme = config.PowerPunchPG
+				cfg.Width, cfg.Height = 4, 4
+				cfg.WarmupCycles = 0
+				cfg.MeasureCycles = 1 << 40
+				net, err := network.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys := cmp.NewSystem(MustProfile(b, 2000), net, 9)
+				res := net.RunUntil(sys, 300_000)
+				if !res.Drained {
+					t.Fatalf("%s did not complete", b)
+				}
+				stats := fmt.Sprintf("misses=%d reads=%d writes=%d invs=%d memreqs=%d wbs=%d pkts=%v stalls=%d",
+					sys.TotalMisses, sys.TotalReads, sys.TotalWrites,
+					sys.TotalInvs, sys.TotalMemReqs, sys.TotalWBs,
+					sys.PacketsByType, sys.TotalStallCycles())
+				return res, sys.ExecutionTime(), stats
+			}
+			r1, exec1, stats1 := run()
+			r2, exec2, stats2 := run()
+			if r1 != r2 {
+				t.Errorf("identical profile+seed diverged:\n  %+v\n  %+v", r1, r2)
+			}
+			if fmt.Sprintf("%+v", r1) != fmt.Sprintf("%+v", r2) {
+				t.Errorf("rendered results differ:\n  %+v\n  %+v", r1, r2)
+			}
+			if exec1 != exec2 {
+				t.Errorf("execution times differ: %d vs %d", exec1, exec2)
+			}
+			if stats1 != stats2 {
+				t.Errorf("protocol statistics differ:\n  %s\n  %s", stats1, stats2)
+			}
+		})
+	}
+}
