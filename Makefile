@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race soak soak-obs soak-par soak-cmp api apicheck check fuzz clean bench bench-check
+.PHONY: build test vet race soak soak-obs soak-par soak-cmp soak-serve api apicheck check fuzz clean bench bench-check
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,13 @@ soak-par: vet
 soak-cmp: vet
 	$(GO) test -race -run 'TestSoakCMP' .
 
+# Campaign-server soak: the whole internal/serve suite under the race
+# detector — concurrent clients racing the single-flight result cache,
+# admission control, graceful shutdown + resume from persisted state,
+# and the golden HTTP-vs-in-process loadsweep CSV equivalence.
+soak-serve: vet
+	$(GO) test -race -count=1 ./internal/serve/
+
 # Public API surface lock: API.txt is the committed `go doc -all .`
 # golden. After a deliberate surface change, run `make api` and commit
 # the diff; `make apicheck` fails when the exported surface drifts
@@ -69,7 +76,7 @@ apicheck: build
 	fi
 
 # Tier-2: everything above plus the benchmark regression gate.
-check: vet test race soak soak-obs soak-par soak-cmp apicheck bench-check
+check: vet test race soak soak-obs soak-par soak-cmp soak-serve apicheck bench-check
 
 # Benchmark baseline maintenance. `make bench` runs the locked tick
 # benchmarks (per scheme and load point, active-set and full-walk, with

@@ -33,17 +33,23 @@
 //	noctrace trace -scheme PowerPunch-PG -rate 0.05 -cycles 5000 -kinds pg_wake,pg_gate,punch_emit
 //	noctrace timeline -scheme ConvOpt-PG -rate 0.02 -cycles 50000 -interval 500 -format csv -out timeline.csv
 //
-// All three observability subcommands also drive full-system
-// CMP/PARSEC workloads with -bench/-instr, including the workload's own
-// protocol events (wl_miss, wl_fill, wl_dir) in the stream:
+// trace and timeline also drive full-system CMP/PARSEC workloads with
+// -bench/-instr, including the workload's own protocol events
+// (wl_miss, wl_fill, wl_dir) in the stream:
 //
 //	noctrace trace -bench canneal -instr 20000 -kinds wl_miss,wl_fill,eject
 //	noctrace timeline -bench swaptions -scheme PowerPunch-PG -format csv -report
 //
-// Serve live metrics and profiling endpoints while a long simulation
-// runs (expvar under /debug/vars, pprof under /debug/pprof):
+// Run the campaign server: simulation as a service over HTTP/JSON,
+// with a bounded worker pool, a deterministic result cache keyed by
+// the canonical (config, seed) hash, sweep campaigns with
+// progress/resume and CSV export, JSONL event/timeline streaming, and
+// graceful shutdown that drains in-flight jobs and persists campaign
+// state (expvar under /debug/vars, pprof under /debug/pprof):
 //
-//	noctrace serve -addr localhost:6060 -scheme PowerPunch-PG -rate 0.02 -cycles 100000000
+//	noctrace serve -addr localhost:6060 -workers 4 -queue 64 -cache 1024 -state campaigns.json
+//	curl -d '{"scheme":"PowerPunch-PG","pattern":"uniform","rate":0.05,"cycles":20000,"seed":1}' \
+//	    localhost:6060/api/v1/jobs
 //
 // Maintain the benchmark baseline (see `make bench` / `make bench-check`):
 //
@@ -86,7 +92,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: noctrace record|replay|replay-failure|trace|timeline|serve|bench-json|bench-diff [flags] (see -h of each)")
+	fmt.Fprintln(os.Stderr, `usage: noctrace <command> [flags] (see -h of each)
+
+trace I/O:      record, replay, replay-failure
+observability:  trace (event stream), timeline (power/activity samples)
+serving:        serve (HTTP/JSON campaign server: jobs, sweep
+                campaigns, result cache, streaming; -addr, -workers,
+                -queue, -cache, -state, -rate-limit, -rate-burst)
+benchmarking:   bench-json, bench-diff`)
 	os.Exit(2)
 }
 
@@ -109,6 +122,19 @@ func record(args []string) {
 	height := fs.Int("height", 8, "fabric height (rows; must be 1 for -topo ring)")
 	workers := fs.Int("workers", 0, "tick-engine workers: 0 or 1 = serial, N > 1 = sharded parallel engine (bit-identical)")
 	_ = fs.Parse(args)
+
+	// Reject combinations that would otherwise be silently ignored.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *bench != "" {
+		for _, name := range []string{"pattern", "rate", "cycles"} {
+			if set[name] {
+				fatal(fmt.Errorf("-%s is ignored with -bench; drop one of them", name))
+			}
+		}
+	} else if set["instr"] {
+		fatal(fmt.Errorf("-instr only applies with -bench"))
+	}
 
 	cfg := powerpunch.DefaultConfig()
 	cfg.Scheme = powerpunch.NoPG // record on the neutral baseline

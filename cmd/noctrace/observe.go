@@ -1,12 +1,14 @@
 // The observability subcommands: stream the cycle-level event trace
-// (`trace`), export a power/activity timeline (`timeline`), and expose
-// live metrics plus profiling endpoints over HTTP (`serve`). All three
-// drive either a synthetic pattern or — with -bench — a full-system
+// (`trace`), export a power/activity timeline (`timeline`), and run
+// the HTTP/JSON campaign server (`serve`). trace and timeline drive
+// either a synthetic pattern or — with -bench — a full-system
 // CMP/PARSEC workload, with observer sinks attached via
-// powerpunch.WithObserver.
+// powerpunch.WithObserver; serve accepts the same workloads as job
+// specs over HTTP (internal/serve).
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -14,10 +16,13 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"os/signal"
 	"strings"
-	"sync/atomic"
+	"syscall"
+	"time"
 
 	"powerpunch"
+	"powerpunch/internal/serve"
 )
 
 // simFlags is the workload flag block shared by the observability
@@ -51,6 +56,24 @@ func addSimFlags(fs *flag.FlagSet) *simFlags {
 		workers: fs.Int("workers", 0, "tick-engine workers: 0 or 1 = serial, N > 1 = sharded parallel engine (bit-identical, observed event stream included)"),
 		bench:   fs.String("bench", "", "drive a full-system CMP/PARSEC workload instead of synthetic traffic (profile name, see powerpunch -list)"),
 		instr:   fs.Int64("instr", 20_000, "instructions per core for -bench"),
+	}
+}
+
+// rejectIgnored fails on flag combinations the simulation would
+// silently ignore: synthetic-traffic flags set alongside -bench, or
+// -instr without -bench. Only flags the user actually set (fs.Visit)
+// count — defaults are fine.
+func (sf *simFlags) rejectIgnored(fs *flag.FlagSet) {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *sf.bench != "" {
+		for _, name := range []string{"pattern", "rate", "warmup"} {
+			if set[name] {
+				fatal(fmt.Errorf("-%s is ignored with -bench; drop one of them", name))
+			}
+		}
+	} else if set["instr"] {
+		fatal(fmt.Errorf("-instr only applies with -bench"))
 	}
 }
 
@@ -136,6 +159,7 @@ func traceCmd(args []string) {
 	out := fs.String("out", "-", "output JSONL file, - for stdout")
 	kinds := fs.String("kinds", "", "comma-separated event kinds to keep (empty = all): inject,vc_alloc,switch,link,eject,ni_block,pg_stall,pg_gate,pg_wake,pg_active,punch_emit,punch_local,punch_merge,punch_arrive,punch_hold,wl_miss,wl_fill,wl_dir")
 	_ = fs.Parse(args)
+	sim.rejectIgnored(fs)
 
 	w, err := openOut(*out)
 	if err != nil {
@@ -183,6 +207,7 @@ func timelineCmd(args []string) {
 	format := fs.String("format", "csv", "csv|jsonl")
 	report := fs.Bool("report", false, "also print the counters report to stderr")
 	_ = fs.Parse(args)
+	sim.rejectIgnored(fs)
 
 	sampler := powerpunch.NewTimelineSampler(*interval)
 	probe := powerpunch.NewCountersProbe()
@@ -221,107 +246,84 @@ func timelineCmd(args []string) {
 	}
 }
 
-// liveSnapshot is the JSON document `serve` publishes under the
-// "powerpunch" expvar key, refreshed every snapshot window while the
-// simulation runs on its own goroutine.
-type liveSnapshot struct {
-	Cycle       int64   `json:"cycle"`
-	Running     bool    `json:"running"`
-	Scheme      string  `json:"scheme"`
-	Injected    int64   `json:"injected"`
-	Ejected     int64   `json:"ejected"`
-	AvgLatency  float64 `json:"avg_latency_cycles"`
-	StallCycles int64   `json:"stall_cycles"`
-	Wakeups     int64   `json:"wakeups"`
-	PunchWakes  int64   `json:"punch_wakes"`
-	HiddenFrac  float64 `json:"hidden_fraction"`
-	Gated       int     `json:"gated"`
-	Waking      int     `json:"waking"`
-	Active      int     `json:"active"`
-}
-
-// serveCmd runs the simulation on a background goroutine and serves
-// live metrics (expvar, /debug/vars) and profiling (/debug/pprof) over
-// HTTP until interrupted. The simulation goroutine publishes an
-// immutable snapshot each window; HTTP handlers only ever read the
-// latest published pointer, so the hot loop is never locked.
+// serveCmd mounts the campaign server (internal/serve): simulation as
+// a service over HTTP/JSON with a bounded worker pool, admission
+// control (full queue -> 429), a deterministic result cache keyed by
+// the canonical (config, seed) hash, parameter-sweep campaigns with
+// progress/resume, chunked-JSONL event and timeline streaming,
+// per-client rate limits, and graceful shutdown that drains in-flight
+// jobs and persists campaign state. Live process metrics stay on
+// /debug/vars (the server's counters under the "serve" key) and pprof
+// on /debug/pprof.
+//
+// The pre-campaign serve took the simulation flags directly and
+// silently ignored several combinations (-pattern/-rate/-warmup under
+// -bench, -instr without -bench). Simulations are described by job
+// specs over HTTP now; any leftover simulation flag is rejected by
+// the flag parser, and the job/campaign validators reject the same
+// combinations with a 400 instead of ignoring them.
 func serveCmd(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	sim := addSimFlags(fs)
 	addr := fs.String("addr", "localhost:6060", "HTTP listen address")
-	window := fs.Int64("window", 1000, "snapshot refresh interval, cycles")
+	workers := fs.Int("workers", 4, "simulation worker pool size (also bounds concurrent streams)")
+	queue := fs.Int("queue", 64, "job queue depth; submissions beyond it are rejected with 429")
+	cacheSize := fs.Int("cache", 1024, "result cache capacity, entries (keyed by the canonical (config, seed) hash)")
+	statePath := fs.String("state", "", "campaign state file: persisted on graceful shutdown, campaigns resumable after restart")
+	rateLimit := fs.Float64("rate-limit", 0, "per-client requests/second (0 = unlimited)")
+	rateBurst := fs.Int("rate-burst", 0, "per-client burst size (requires -rate-limit)")
 	_ = fs.Parse(args)
 
-	probe := powerpunch.NewCountersProbe()
-	sampler := powerpunch.NewTimelineSampler(*window)
-	net, drv, err := sim.build(powerpunch.WithObserver(probe, sampler))
+	switch {
+	case *workers < 1:
+		fatal(fmt.Errorf("serve: -workers must be >= 1"))
+	case *queue < 1:
+		fatal(fmt.Errorf("serve: -queue must be >= 1"))
+	case *cacheSize < 1:
+		fatal(fmt.Errorf("serve: -cache must be >= 1"))
+	case *rateLimit < 0:
+		fatal(fmt.Errorf("serve: -rate-limit must be >= 0"))
+	case *rateBurst != 0 && *rateLimit == 0:
+		fatal(fmt.Errorf("serve: -rate-burst without -rate-limit would be silently ignored; set -rate-limit > 0"))
+	}
+
+	srv, err := serve.New(serve.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cacheSize,
+		StatePath:  *statePath,
+		RateLimit:  *rateLimit,
+		RateBurst:  *rateBurst,
+	})
 	if err != nil {
 		fatal(err)
 	}
+	expvar.Publish("serve", srv.Metrics())
 
-	var snap atomic.Pointer[liveSnapshot]
-	snap.Store(&liveSnapshot{Scheme: *sim.scheme, Running: true})
-	publish := func(running bool) {
-		s := &liveSnapshot{
-			Cycle:       net.Now(),
-			Running:     running,
-			Scheme:      *sim.scheme,
-			Injected:    probe.NIQueue.Count,
-			Ejected:     probe.Latency.Count,
-			AvgLatency:  probe.Latency.Mean(),
-			StallCycles: probe.StallCycles,
-			Wakeups:     probe.PunchWakes.Wakeups + probe.ConvWakes.Wakeups,
-			PunchWakes:  probe.PunchWakes.Wakeups,
-			HiddenFrac:  probe.HiddenFraction(),
-		}
-		if all := sampler.Samples(); len(all) > 0 {
-			last := all[len(all)-1]
-			s.Gated, s.Waking, s.Active = last.Gated, last.Waking, last.Active
-		}
-		snap.Store(s)
+	root := http.NewServeMux()
+	root.Handle("/debug/", http.DefaultServeMux) // expvar + pprof
+	root.Handle("/", srv.Handler())
+	hs := &http.Server{Addr: *addr, Handler: root}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "campaign server on http://%s/api/v1 (workers=%d queue=%d cache=%d; metrics /debug/vars, pprof /debug/pprof)\n",
+		*addr, *workers, *queue, *cacheSize)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
 	}
-	expvar.Publish("powerpunch", expvar.Func(func() any { return *snap.Load() }))
 
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		if wl, ok := drv.(*powerpunch.Workload); ok {
-			// Full-system workload: run until the protocol drains,
-			// publishing a snapshot each window.
-			for !wl.Done() || !net.Quiesced() {
-				for i := int64(0); i < *window && (!wl.Done() || !net.Quiesced()); i++ {
-					wl.Tick(net, net.Now())
-					net.Step()
-				}
-				publish(true)
-			}
-			publish(false)
-			fmt.Fprintf(os.Stderr, "workload completed at cycle %d (exec=%d); still serving (ctrl-c to stop)\n",
-				net.Now(), wl.ExecutionTime())
-			return
-		}
-		budget := *sim.warmup + *sim.cycles
-		for net.Now() < budget {
-			chunk := budget - net.Now()
-			if chunk > *window {
-				chunk = *window
-			}
-			for i := int64(0); i < chunk; i++ {
-				drv.Tick(net, net.Now())
-				net.Step()
-			}
-			publish(true)
-		}
-		for !net.Quiesced() {
-			net.Step()
-		}
-		publish(false)
-		fmt.Fprintf(os.Stderr, "simulation drained at cycle %d; still serving (ctrl-c to stop)\n", net.Now())
-	}()
-
-	fmt.Fprintf(os.Stderr, "serving live metrics on http://%s/debug/vars (pprof on /debug/pprof)\n", *addr)
-	if err := http.ListenAndServe(*addr, nil); err != nil {
+	fmt.Fprintln(os.Stderr, "shutting down: draining in-flight jobs")
+	sctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(sctx)
+	if err := srv.Shutdown(sctx); err != nil {
 		fatal(err)
 	}
-	<-done
+	if *statePath != "" {
+		fmt.Fprintf(os.Stderr, "campaign state persisted to %s\n", *statePath)
+	}
 }

@@ -115,23 +115,7 @@ func RunLoadSweep(o LoadSweepOptions) ([]LoadPoint, error) {
 		drv := traffic.NewSynthetic(pat, j.rate, o.Seed)
 		res := net.Run(drv)
 		thr := net.Col.Throughput(net.M.NumNodes(), cfg.MeasureCycles)
-		pt := LoadPoint{
-			Pattern:    j.pattern,
-			Rate:       j.rate,
-			Scheme:     j.scheme,
-			AvgLatency: res.Summary.AvgLatency,
-			Throughput: thr,
-			StaticW:    res.AvgStaticW,
-			Saturated:  !res.Drained || res.Summary.AvgLatency > 150,
-		}
-		if st := res.Detail.Stages; st.Packets > 0 {
-			n := float64(st.Packets)
-			pt.NIQueue = float64(st.NIQueueCycles) / n
-			pt.WakeupNI = float64(st.WakeupNICycles) / n
-			pt.WakeupNet = float64(st.WakeupNetCycles) / n
-			pt.Transit = float64(st.TransitCycles) / n
-		}
-		out[i] = pt
+		out[i] = LoadPointFrom(j.pattern, j.rate, j.scheme, res, thr)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -139,6 +123,31 @@ func RunLoadSweep(o LoadSweepOptions) ([]LoadPoint, error) {
 		}
 	}
 	return out, nil
+}
+
+// LoadPointFrom assembles one sweep measurement from a finished run.
+// RunLoadSweep and the campaign server's CSV export both funnel
+// through it (including the saturation threshold), which is what
+// keeps the HTTP API's result.csv bit-identical to the in-process
+// sweep.
+func LoadPointFrom(pattern string, rate float64, scheme config.Scheme, res network.RunResult, throughput float64) LoadPoint {
+	pt := LoadPoint{
+		Pattern:    pattern,
+		Rate:       rate,
+		Scheme:     scheme,
+		AvgLatency: res.Summary.AvgLatency,
+		Throughput: throughput,
+		StaticW:    res.AvgStaticW,
+		Saturated:  !res.Drained || res.Summary.AvgLatency > 150,
+	}
+	if st := res.Detail.Stages; st.Packets > 0 {
+		n := float64(st.Packets)
+		pt.NIQueue = float64(st.NIQueueCycles) / n
+		pt.WakeupNI = float64(st.WakeupNICycles) / n
+		pt.WakeupNet = float64(st.WakeupNetCycles) / n
+		pt.Transit = float64(st.TransitCycles) / n
+	}
+	return pt
 }
 
 // FormatFig12 renders the sweep as per-pattern latency and static-power

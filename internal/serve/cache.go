@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheEntry is one result in the cache. ready is closed when the
+// entry is filled (data or err set); an entry is completed-and-cached
+// iff elem is non-nil (failures are never retained).
+type cacheEntry struct {
+	key   string
+	ready chan struct{}
+	data  []byte
+	err   error
+	elem  *list.Element // LRU position; nil while in flight
+}
+
+// resultCache is an LRU of marshaled JobRecords keyed by the
+// canonical spec hash, with single-flight semantics: the first
+// acquirer of a key owns the simulation, concurrent acquirers of the
+// same key wait on the one in-flight entry instead of re-simulating.
+type resultCache struct {
+	mu        sync.Mutex
+	max       int // completed entries retained; in-flight entries are unbounded
+	ll        *list.List
+	m         map[string]*cacheEntry
+	evictions int64
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), m: make(map[string]*cacheEntry)}
+}
+
+// acquire returns the entry for key and whether the caller owns
+// filling it. Non-owners must wait on entry.ready before reading
+// data/err.
+func (c *resultCache) acquire(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		if e.elem != nil {
+			c.ll.MoveToFront(e.elem)
+		}
+		return e, false
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	c.m[key] = e
+	return e, true
+}
+
+// fill completes an entry acquired with ownership. Failed entries are
+// forgotten (the next acquire retries); successful entries enter the
+// LRU, evicting the coldest completed entries beyond max.
+func (c *resultCache) fill(e *cacheEntry, data []byte, err error) {
+	c.mu.Lock()
+	e.data, e.err = data, err
+	if err != nil {
+		delete(c.m, e.key)
+	} else {
+		e.elem = c.ll.PushFront(e)
+		c.evict()
+	}
+	c.mu.Unlock()
+	close(e.ready)
+}
+
+// peek returns the completed cached bytes for key, if any, touching
+// the entry's LRU position. In-flight entries do not count: a peek
+// miss followed by acquire is how waiters join them.
+func (c *resultCache) peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok || e.elem == nil {
+		return nil, false
+	}
+	c.ll.MoveToFront(e.elem)
+	return e.data, true
+}
+
+// seed inserts an already-computed record, used when restoring
+// persisted campaign state so resumed campaigns don't re-simulate
+// finished points.
+func (c *resultCache) seed(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; ok {
+		return
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{}), data: data}
+	close(e.ready)
+	c.m[key] = e
+	e.elem = c.ll.PushFront(e)
+	c.evict()
+}
+
+// evict drops completed entries beyond max. Callers hold mu.
+func (c *resultCache) evict() {
+	for c.max > 0 && c.ll.Len() > c.max {
+		old := c.ll.Remove(c.ll.Back()).(*cacheEntry)
+		delete(c.m, old.key)
+		c.evictions++
+	}
+}
+
+// Evictions returns how many completed entries have been evicted.
+func (c *resultCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Len returns the number of completed cached entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

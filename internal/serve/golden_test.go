@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"powerpunch/internal/config"
+	"powerpunch/internal/experiments"
+)
+
+// TestCampaignMatchesInProcessLoadsweep is the PR's golden
+// equivalence claim: a sweep campaign run through the HTTP API
+// exports the exact bytes the in-process loadsweep driver writes for
+// the same axes. Both paths assemble the same configs, run the same
+// deterministic simulations, and funnel through
+// experiments.LoadPointFrom + WriteLoadSweepCSV; any drift in config
+// assembly, axis ordering, or CSV formatting breaks this test.
+func TestCampaignMatchesInProcessLoadsweep(t *testing.T) {
+	patterns := []string{"uniform"}
+	rates := []float64{0.02, 0.06}
+
+	pts, err := experiments.RunLoadSweep(experiments.LoadSweepOptions{
+		Fidelity: experiments.Quick,
+		Patterns: patterns,
+		Rates:    rates,
+		Schemes:  []config.Scheme{config.NoPG, config.ConvOptPG, config.PowerPunchPG},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := experiments.WriteLoadSweepCSV(&want, pts); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same sweep as an API campaign: Quick fidelity spelled out as
+	// warmup/cycles, axes in the same order, defaults (8x8 mesh)
+	// implied.
+	ts := newTestServer(t, Options{Workers: 4})
+	code, body := ts.post(t, "/api/v1/campaigns", CampaignSpec{
+		Base:     JobSpec{Warmup: 2000, Cycles: 8000, Seed: 1},
+		Patterns: patterns,
+		Rates:    rates,
+		Schemes:  []string{"No-PG", "ConvOpt-PG", "PowerPunch-PG"},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("campaign create = %d (%s)", code, body)
+	}
+	var cp campaignProgress
+	mustJSON(t, body, &cp)
+	if cp.Total != len(pts) {
+		t.Fatalf("campaign has %d points, loadsweep has %d", cp.Total, len(pts))
+	}
+	done := ts.waitCampaign(t, cp.ID)
+	if !done.Complete {
+		t.Fatalf("campaign finished as %+v", done)
+	}
+
+	code, got := ts.get(t, "/api/v1/campaigns/"+cp.ID+"/result.csv")
+	if code != http.StatusOK {
+		t.Fatalf("result.csv = %d (%s)", code, got)
+	}
+	if !bytes.Equal(want.Bytes(), got) {
+		t.Errorf("API sweep CSV diverges from in-process loadsweep:\nin-process:\n%s\nAPI:\n%s", want.Bytes(), got)
+	}
+}

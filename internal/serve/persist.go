@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// stateVersion identifies the campaign state-file schema.
+const stateVersion = 1
+
+// persistedCampaign is one campaign's durable form: the original
+// sweep spec plus every point with its result record (when done), so
+// a restarted server serves completed points from the warm cache and
+// re-runs only the pending ones.
+type persistedCampaign struct {
+	ID     string          `json:"id"`
+	Spec   CampaignSpec    `json:"spec"`
+	Points []campaignPoint `json:"points"`
+}
+
+type persistedState struct {
+	Version   int                 `json:"version"`
+	NextID    int64               `json:"next_id"`
+	Campaigns []persistedCampaign `json:"campaigns"`
+}
+
+// saveState writes every campaign (spec, per-point completion, result
+// records) to Options.StatePath atomically (temp file + rename).
+// Called on graceful shutdown and whenever a campaign completes.
+func (s *Server) saveState() error {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+
+	s.mu.Lock()
+	nextID := s.nextID
+	camps := make([]*campaign, 0, len(s.camps))
+	for _, c := range s.camps {
+		camps = append(camps, c)
+	}
+	s.mu.Unlock()
+	sort.Slice(camps, func(i, j int) bool { return camps[i].id < camps[j].id })
+
+	st := persistedState{Version: stateVersion, NextID: nextID}
+	for _, c := range camps {
+		c.mu.Lock()
+		pc := persistedCampaign{ID: c.id, Spec: c.spec, Points: make([]campaignPoint, len(c.points))}
+		copy(pc.Points, c.points)
+		c.mu.Unlock()
+		st.Campaigns = append(st.Campaigns, pc)
+	}
+
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: marshaling state: %w", err)
+	}
+	dir := filepath.Dir(s.opts.StatePath)
+	tmp, err := os.CreateTemp(dir, ".noctrace-state-*")
+	if err != nil {
+		return fmt.Errorf("serve: persisting state: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: persisting state: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: persisting state: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.opts.StatePath); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: persisting state: %w", err)
+	}
+	return nil
+}
+
+// loadState restores campaigns from Options.StatePath. A missing file
+// is a fresh start, not an error. Completed point records are seeded
+// into the result cache, so resumed campaigns (and any job sharing a
+// key with a persisted point) cost zero simulation for finished work.
+func (s *Server) loadState() error {
+	data, err := os.ReadFile(s.opts.StatePath)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("serve: reading state file: %w", err)
+	}
+	var st persistedState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("serve: parsing state file %s: %w", s.opts.StatePath, err)
+	}
+	if st.Version != stateVersion {
+		return fmt.Errorf("serve: state file %s has version %d, want %d", s.opts.StatePath, st.Version, stateVersion)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st.NextID > s.nextID {
+		s.nextID = st.NextID
+	}
+	for _, pc := range st.Campaigns {
+		c := &campaign{
+			id:       pc.ID,
+			spec:     pc.Spec,
+			points:   pc.Points,
+			enqueued: make([]bool, len(pc.Points)),
+		}
+		for i := range c.points {
+			p := &c.points[i]
+			switch {
+			case p.Failed:
+				// Persisted failures reset to pending: the failure was
+				// environmental (the simulator is deterministic), so a
+				// resume retries them.
+				p.Failed, p.Err = false, ""
+			case p.Done:
+				c.doneN++
+				s.cache.seed(p.Key, []byte(p.Record))
+			}
+		}
+		s.camps[c.id] = c
+	}
+	return nil
+}

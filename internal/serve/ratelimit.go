@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token bucket: each client (keyed by remote
+// host) accrues rate tokens per second up to burst; a request costs
+// one token. A nil limiter or rate <= 0 allows everything.
+type limiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate float64, burst int, now func() time.Time) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &limiter{rate: rate, burst: float64(burst), now: now, buckets: make(map[string]*bucket)}
+}
+
+// allow reports whether client may make a request now.
+func (l *limiter) allow(client string) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.now()
+	b, ok := l.buckets[client]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: t}
+		l.buckets[client] = b
+	}
+	b.tokens += l.rate * t.Sub(b.last).Seconds()
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = t
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// clientKey identifies a client for rate limiting: the remote host
+// without the ephemeral port.
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
