@@ -38,11 +38,14 @@ soak-obs: vet
 
 # Parallel-engine soak: every scheme on every fabric on the sharded
 # tick engine with the invariant engine sweeping every cycle, plus a
-# recycled high-load leg at eight workers — under the race detector, so
-# the section bodies, barrier handoffs, replay buffers, and per-worker
-# pools get full data-race coverage. The golden differential suite
-# (TestParallelMatchesSerial and friends, tier-1) locks bit-identical
-# results; this target locks race-freedom and liveness.
+# recycled high-load leg at eight workers and an energy-enabled leg
+# (TestSoakParallelEnergy: per-component accounting + timeline sampler
+# on all schemes x mesh/torus) — under the race detector, so the
+# section bodies, barrier handoffs, replay buffers, per-worker pools,
+# and counter lanes get full data-race coverage. The golden
+# differential suite (TestParallelMatchesSerial and friends, tier-1)
+# locks bit-identical results; this target locks race-freedom and
+# liveness.
 soak-par: vet
 	$(GO) test -race -run 'TestSoakParallel' ./internal/network/
 
@@ -93,7 +96,7 @@ check: vet test race soak soak-obs soak-par soak-cmp soak-serve apicheck bench-c
 # BenchmarkTickTopo*); sub-microsecond micros (NetworkStepIdle,
 # PunchFabricStep) are too jitter-prone for a threshold gate — run
 # those by hand with `go test -bench`.
-BENCHES    ?= ^BenchmarkTick$$|^BenchmarkTickFullWalk$$|^BenchmarkTickTopo$$|^BenchmarkTickTopoFullWalk$$|^BenchmarkTickPar$$|^BenchmarkTickCMP$$
+BENCHES    ?= ^BenchmarkTick$$|^BenchmarkTickEnergy$$|^BenchmarkTickFullWalk$$|^BenchmarkTickTopo$$|^BenchmarkTickTopoFullWalk$$|^BenchmarkTickPar$$|^BenchmarkTickCMP$$
 BENCHTIME  ?= 0.5s
 BENCHCOUNT ?= 5
 # bench-diff defaults to a 10% gate; shared development machines show

@@ -341,6 +341,44 @@ func BenchmarkTick(b *testing.B) {
 	}
 }
 
+// BenchmarkTickEnergy is BenchmarkTick's PowerPunch-PG rows with the
+// per-component energy accountant enabled for the measured window —
+// every emission site pays its float charge plus an integer event
+// counter bump. The gap to the matching BenchmarkTick row is the
+// whole cost of DSENT-style component accounting; the committed
+// baseline pins it small and allocs/op at exactly 0.
+func BenchmarkTickEnergy(b *testing.B) {
+	for _, load := range tickLoads {
+		load := load
+		b.Run(fmt.Sprintf("%s/load=%.2f", config.PowerPunchPG, load), func(b *testing.B) {
+			cfg := config.Default()
+			cfg.Scheme = config.PowerPunchPG
+			cfg.WarmupCycles = 0
+			cfg.MeasureCycles = 1 << 40
+			cfg.RecyclePackets = true
+			net, err := network.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			net.SetAccounting(true)
+			drv := traffic.NewSynthetic(traffic.UniformRandom{}, load, 1)
+			for i := 0; i < 3000; i++ {
+				drv.Tick(net, net.Now())
+				net.Step()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drv.Tick(net, net.Now())
+				net.Step()
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(b.N)/s, "cycles/sec")
+			}
+		})
+	}
+}
+
 // BenchmarkTickFullWalk is BenchmarkTick under Config.FullTick — the
 // seed full-walk tick kept as the differential reference. The gap to
 // BenchmarkTick at low load is the active-set speedup the baseline

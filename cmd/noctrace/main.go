@@ -61,6 +61,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"powerpunch"
 )
@@ -121,6 +122,7 @@ func record(args []string) {
 	width := fs.Int("width", 8, "fabric width (nodes per row)")
 	height := fs.Int("height", 8, "fabric height (rows; must be 1 for -topo ring)")
 	workers := fs.Int("workers", 0, "tick-engine workers: 0 or 1 = serial, N > 1 = sharded parallel engine (bit-identical)")
+	preset := fs.String("power-preset", "", "power-model calibration: "+strings.Join(powerpunch.PowerPresets(), "|")+" (default: "+powerpunch.DefaultPowerPreset+")")
 	_ = fs.Parse(args)
 
 	// Reject combinations that would otherwise be silently ignored.
@@ -143,6 +145,7 @@ func record(args []string) {
 	cfg.WarmupCycles = 0
 	cfg.MeasureCycles = 1 << 40
 	cfg.Workers = *workers
+	cfg.PowerPreset = *preset
 	net, err := powerpunch.NewNetwork(cfg)
 	if err != nil {
 		fatal(err)
@@ -191,6 +194,7 @@ func replay(args []string) {
 	width := fs.Int("width", 8, "fabric width")
 	height := fs.Int("height", 8, "fabric height (must be 1 for -topo ring)")
 	workers := fs.Int("workers", 0, "tick-engine workers: 0 or 1 = serial, N > 1 = sharded parallel engine (bit-identical)")
+	preset := fs.String("power-preset", "", "power-model calibration: "+strings.Join(powerpunch.PowerPresets(), "|")+" (default: "+powerpunch.DefaultPowerPreset+")")
 	_ = fs.Parse(args)
 
 	s, err := schemeByName(*scheme)
@@ -215,6 +219,7 @@ func replay(args []string) {
 	cfg.WarmupCycles = 0
 	cfg.MeasureCycles = 1 << 40
 	cfg.Workers = *workers
+	cfg.PowerPreset = *preset
 	net, err := powerpunch.NewNetwork(cfg)
 	if err != nil {
 		fatal(err)

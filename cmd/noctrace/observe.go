@@ -40,6 +40,7 @@ type simFlags struct {
 	workers *int
 	bench   *string
 	instr   *int64
+	preset  *string
 }
 
 func addSimFlags(fs *flag.FlagSet) *simFlags {
@@ -56,6 +57,7 @@ func addSimFlags(fs *flag.FlagSet) *simFlags {
 		workers: fs.Int("workers", 0, "tick-engine workers: 0 or 1 = serial, N > 1 = sharded parallel engine (bit-identical, observed event stream included)"),
 		bench:   fs.String("bench", "", "drive a full-system CMP/PARSEC workload instead of synthetic traffic (profile name, see powerpunch -list)"),
 		instr:   fs.Int64("instr", 20_000, "instructions per core for -bench"),
+		preset:  fs.String("power-preset", "", "power-model calibration: "+strings.Join(powerpunch.PowerPresets(), "|")+" (default: "+powerpunch.DefaultPowerPreset+")"),
 	}
 }
 
@@ -101,6 +103,7 @@ func (sf *simFlags) build(opts ...powerpunch.Option) (*powerpunch.Network, power
 	cfg.WarmupCycles = *sf.warmup
 	cfg.MeasureCycles = *sf.cycles
 	cfg.Workers = *sf.workers
+	cfg.PowerPreset = *sf.preset
 	if *sf.bench != "" {
 		// Workload runs measure from cycle 0 until the protocol drains;
 		// -cycles only bounds the run (see sf.run).

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"powerpunch"
 	"powerpunch/internal/config"
 	"powerpunch/internal/experiments"
 )
@@ -39,12 +40,20 @@ func main() {
 	topoName := flag.String("topo", "", "fabric for the simulation-backed experiments: mesh|torus|ring (default: the paper's 8x8 mesh)")
 	width := flag.Int("width", 0, "fabric width, used with -topo (default 8)")
 	height := flag.Int("height", 0, "fabric height, used with -topo (default 8; must be 1 for -topo ring)")
+	powerPreset := flag.String("power-preset", "", "power-model calibration: "+strings.Join(powerpunch.PowerPresets(), "|")+" (default: the paper's "+powerpunch.DefaultPowerPreset+"; the golden baselines are pinned to it)")
 	flag.Parse()
 
 	experiments.EnableChecks = *checks
 	experiments.Workers = *workers
 	experiments.FullTick = *fullTick
 	observeFullSystem = *observe
+
+	if *powerPreset != "" {
+		if err := experiments.SetPowerPreset(*powerPreset); err != nil {
+			fmt.Fprintf(os.Stderr, "powerpunch: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	if *topoName != "" || *width != 0 || *height != 0 {
 		w, h := *width, *height

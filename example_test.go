@@ -121,7 +121,7 @@ func ExampleNewTimelineSampler() {
 	// Output:
 	// windows sampled: true
 	// routers gated at some point: true
-	// csv header: cycle,gated,waking,active,injected,ejected,switched,punches,stalls,wakeups,ni_block
+	// csv header: cycle,gated,waking,active,injected,ejected,switched,punches,stalls,wakeups,ni_block,p_buffer_w,p_crossbar_w,p_alloc_w,p_clock_w,p_link_w,p_punch_w,p_wakeup_w,p_gate_w
 }
 
 // ExampleNewEventTraceWriter streams the full cycle-level event trace

@@ -6,7 +6,9 @@ package config
 
 import (
 	"fmt"
+	"strings"
 
+	"powerpunch/internal/power"
 	"powerpunch/internal/topo"
 )
 
@@ -110,6 +112,13 @@ type Config struct {
 	// pauses gating for a window, avoiding the medium-load regime where
 	// gating costs more energy than it saves (not in the paper).
 	AdaptiveThrottle bool
+
+	// PowerPreset selects the calibrated power-model constants by name
+	// (power.Presets lists them). Empty selects power.DefaultPreset
+	// (paper-hpca15, the calibration the paper's aggregate numbers and
+	// the golden suite are locked against). Unknown names fail Validate
+	// with *UnknownPowerPresetError.
+	PowerPreset string
 
 	// Power Punch (Section 4).
 	PunchHops int // hop-count slack of punch signals (2, 3, or 4)
@@ -251,6 +260,8 @@ func Default() Config {
 		BreakEven:     10,
 		IdleTimeout:   4,
 
+		PowerPreset: power.DefaultPreset,
+
 		PunchHops:        3,
 		PunchIdleTimeout: 2,
 		PunchStrict:      false,
@@ -335,11 +346,28 @@ func (c *Config) RouterCycles() int { return c.RouterStages }
 // 3-stage routers and up to 12 cycles for 4-stage routers").
 func (c *Config) PunchSlackCycles() int { return c.PunchHops * c.RouterCycles() }
 
+// UnknownPowerPresetError reports a PowerPreset name that is not in
+// the power package's calibration registry. It is a typed error so the
+// CLI and the campaign server can reject bad presets loudly and tests
+// can assert on it with errors.As.
+type UnknownPowerPresetError struct {
+	Name  string
+	Known []string // valid preset names, sorted
+}
+
+func (e *UnknownPowerPresetError) Error() string {
+	return fmt.Sprintf("config: unknown power preset %q (known presets: %s)",
+		e.Name, strings.Join(e.Known, ", "))
+}
+
 // Validate reports the first invalid parameter combination, or nil.
 func (c *Config) Validate() error {
 	kind, err := topo.ParseKind(c.Topology)
 	if err != nil {
 		return fmt.Errorf("config: %v", err)
+	}
+	if _, ok := power.PresetByName(c.PowerPreset); !ok {
+		return &UnknownPowerPresetError{Name: c.PowerPreset, Known: power.Presets()}
 	}
 	switch kind {
 	case topo.KindRing:

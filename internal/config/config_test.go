@@ -1,6 +1,11 @@
 package config
 
-import "testing"
+import (
+	"errors"
+	"testing"
+
+	"powerpunch/internal/power"
+)
 
 func TestDefaultIsValid(t *testing.T) {
 	cfg := Default()
@@ -187,5 +192,37 @@ func TestEarlyWakeupAndTimeoutPredicates(t *testing.T) {
 	}
 	if PlainPG.String() != "Plain-PG" || !PlainPG.UsesPowerGating() {
 		t.Error("PlainPG identity")
+	}
+}
+
+// TestPowerPresetValidation pins the typed-error contract: every
+// registered preset (and the empty default) validates, anything else
+// fails with *UnknownPowerPresetError carrying the known names.
+func TestPowerPresetValidation(t *testing.T) {
+	for _, name := range append([]string{""}, power.Presets()...) {
+		cfg := Default()
+		cfg.PowerPreset = name
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %q rejected: %v", name, err)
+		}
+	}
+
+	cfg := Default()
+	cfg.PowerPreset = "dsent-9000nm"
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("unknown power preset accepted")
+	}
+	var uerr *UnknownPowerPresetError
+	if !errors.As(err, &uerr) {
+		t.Fatalf("error is %T, want *UnknownPowerPresetError", err)
+	}
+	if uerr.Name != "dsent-9000nm" || len(uerr.Known) == 0 {
+		t.Errorf("typed error incomplete: %+v", uerr)
+	}
+	for _, k := range uerr.Known {
+		if _, ok := power.PresetByName(k); !ok {
+			t.Errorf("Known lists %q, which the registry rejects", k)
+		}
 	}
 }

@@ -7,30 +7,53 @@ import (
 	"strconv"
 
 	"powerpunch/internal/config"
+	"powerpunch/internal/network"
+	"powerpunch/internal/power"
 )
+
+// energyHeader returns one e_<component>_J column per power component,
+// in power.Component order; both sweep CSVs append these columns.
+func energyHeader() []string {
+	names := power.ComponentNames()
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = "e_" + n + "_J"
+	}
+	return out
+}
+
+// energyCells formats the per-component total energies in the same
+// order as energyHeader.
+func energyCells(b network.EnergyBreakdown) []string {
+	out := make([]string, power.NumComponents)
+	for c := power.Component(0); c < power.NumComponents; c++ {
+		out[c] = e(b.Component(c).Total())
+	}
+	return out
+}
 
 // WriteFullSystemCSV emits the complete Figure 7-11 dataset as CSV
 // (one row per benchmark x scheme), plot-ready.
 func WriteFullSystemCSV(w io.Writer, results []BenchResult) error {
 	cw := csv.NewWriter(w)
-	header := []string{
+	header := append([]string{
 		"benchmark", "scheme", "avg_latency_cycles", "exec_time_cycles",
 		"blocked_routers_per_pkt", "wakeup_wait_cycles_per_pkt",
 		"dynamic_J", "static_J", "overhead_J", "static_saved_frac", "packets",
-	}
+	}, energyHeader()...)
 	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, br := range results {
 		for _, s := range config.Schemes {
 			m := br.PerScheme[s]
-			row := []string{
+			row := append([]string{
 				br.Bench, s.String(),
 				f(m.AvgLatency), strconv.FormatInt(m.ExecTime, 10),
 				f(m.Blocked), f(m.WakeWait),
 				e(m.Energy.Dynamic), e(m.Energy.Static), e(m.Energy.Overhead),
 				f(m.StaticSaved), strconv.FormatInt(m.Packets, 10),
-			}
+			}, energyCells(m.Components)...)
 			if err := cw.Write(row); err != nil {
 				return err
 			}
@@ -43,19 +66,19 @@ func WriteFullSystemCSV(w io.Writer, results []BenchResult) error {
 // WriteLoadSweepCSV emits the Figure 12 dataset as CSV.
 func WriteLoadSweepCSV(w io.Writer, points []LoadPoint) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{
+	if err := cw.Write(append([]string{
 		"pattern", "rate_flits_node_cycle", "scheme",
 		"avg_latency_cycles", "throughput_flits_node_cycle", "static_power_W", "saturated",
 		"ni_queue_cycles", "wakeup_ni_cycles", "wakeup_net_cycles", "transit_cycles",
-	}); err != nil {
+	}, energyHeader()...)); err != nil {
 		return err
 	}
 	for _, p := range points {
-		if err := cw.Write([]string{
+		if err := cw.Write(append([]string{
 			p.Pattern, f(p.Rate), p.Scheme.String(),
 			f(p.AvgLatency), f(p.Throughput), e(p.StaticW), strconv.FormatBool(p.Saturated),
 			f(p.NIQueue), f(p.WakeupNI), f(p.WakeupNet), f(p.Transit),
-		}); err != nil {
+		}, energyCells(p.Energy)...)); err != nil {
 			return err
 		}
 	}

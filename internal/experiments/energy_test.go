@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"powerpunch/internal/config"
+	"powerpunch/internal/power"
+)
+
+// relDiff returns |a-b| / max(|a|,|b|), 0 when both are zero.
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+// TestEnergyComponentsReconcileWithAggregate is the aggregate-oracle
+// differential test of the per-component energy model: for every
+// benchmark x scheme of the full-system comparison, the counter-derived
+// component breakdown must sum — class by class — to the same numbers
+// as the float-accumulated aggregate accountant, within summation
+// tolerance. The aggregate is seed-locked by the golden suite, so this
+// test pins the component taxonomy to the paper's numbers without
+// duplicating them.
+func TestEnergyComponentsReconcileWithAggregate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system grid is slow")
+	}
+	results, err := RunFullSystem(FullSystemOptions{
+		Fidelity:     Quick,
+		Seed:         1,
+		InstrPerCore: 3_000, // the grid matters, not the run length
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-9
+	for _, br := range results {
+		for _, s := range config.Schemes {
+			m := br.PerScheme[s]
+			var dyn, stat, ovh float64
+			for c := power.Component(0); c < power.NumComponents; c++ {
+				ce := m.Components.Component(c)
+				dyn += ce.Dynamic
+				stat += ce.Static
+				ovh += ce.Overhead
+			}
+			checks := []struct {
+				name     string
+				got, ref float64
+			}{
+				{"dynamic", dyn, m.Energy.Dynamic},
+				{"static", stat, m.Energy.Static},
+				{"overhead", ovh, m.Energy.Overhead},
+				{"total", dyn + stat + ovh, m.Energy.Total()},
+			}
+			for _, c := range checks {
+				if rd := relDiff(c.got, c.ref); rd > tol {
+					t.Errorf("%s/%v: %s: components sum to %.12e, aggregate %.12e (rel diff %.3e > %.0e)",
+						br.Bench, s, c.name, c.got, c.ref, rd, tol)
+				}
+			}
+			if m.Components.Version != 1 {
+				t.Errorf("%s/%v: energy breakdown version = %d, want 1", br.Bench, s, m.Components.Version)
+			}
+			if m.Energy.Total() > 0 && m.Components.Total() == 0 {
+				t.Errorf("%s/%v: aggregate energy %.3e but component view is empty", br.Bench, s, m.Energy.Total())
+			}
+		}
+	}
+}

@@ -87,6 +87,7 @@ func RunFullSystem(o FullSystemOptions) ([]BenchResult, error) {
 			Blocked:     res.Summary.AvgBlocked,
 			WakeWait:    res.Summary.AvgWakeWait,
 			Energy:      res.Energy,
+			Components:  res.Detail.Energy,
 			StaticSaved: res.StaticSaved,
 			AvgStaticW:  res.AvgStaticW,
 			Packets:     res.Summary.Ejected,

@@ -28,6 +28,10 @@ type LoadPoint struct {
 	WakeupNI  float64
 	WakeupNet float64
 	Transit   float64
+
+	// Per-component energy over the measured window (J), from
+	// RunResult.Detail.Energy — counter-derived, so engine-invariant.
+	Energy network.EnergyBreakdown
 }
 
 // LoadSweepOptions parameterizes Figure 12.
@@ -147,6 +151,7 @@ func LoadPointFrom(pattern string, rate float64, scheme config.Scheme, res netwo
 		pt.WakeupNet = float64(st.WakeupNetCycles) / n
 		pt.Transit = float64(st.TransitCycles) / n
 	}
+	pt.Energy = res.Detail.Energy
 	return pt
 }
 

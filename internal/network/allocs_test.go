@@ -95,6 +95,64 @@ func TestStepAllocsRecycledLoads(t *testing.T) {
 	}
 }
 
+// TestStepAllocsEnergyAccounting is TestStepAllocsRecycledLoads with
+// the per-component energy accountant switched on for the measured
+// window: every emission site charges its float expression AND bumps
+// its integer event counter, and the whole inject+Step cycle must
+// still allocate nothing — on the serial engine and on the sharded
+// engine, whose per-worker counter lanes were sized at construction.
+func TestStepAllocsEnergyAccounting(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		for _, load := range []float64{0.10, 0.30} {
+			workers, load := workers, load
+			name := "serial"
+			if workers > 0 {
+				name = "par=4"
+			}
+			t.Run(fmt.Sprintf("%s/load=%.2f", name, load), func(t *testing.T) {
+				cfg := testConfig(config.PowerPunchPG)
+				cfg.Workers = workers
+				cfg.RecyclePackets = true
+				n := mustNew(t, cfg)
+				defer n.Close()
+				n.SetAccounting(true)
+
+				rng := uint64(0x9e3779b97f4a7c15)
+				next := func() uint64 {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					return rng >> 33
+				}
+				thresh := uint64(load * 1024)
+				tick := func() {
+					for v := mesh.NodeID(0); v < 16; v++ {
+						if next()%1024 >= thresh {
+							continue
+						}
+						dst := mesh.NodeID(next() % 16)
+						if dst == v {
+							continue
+						}
+						p := n.NewPacket(v, dst, flit.VirtualNetwork(next()%3), flit.KindControl)
+						n.NI(v).Submit(p, true, n.Now())
+					}
+					n.Step()
+				}
+				for i := 0; i < 4000; i++ {
+					tick()
+				}
+				if avg := testing.AllocsPerRun(300, tick); avg != 0 {
+					t.Fatalf("accounted inject+Step allocates %.3f times per cycle at load %.2f, want 0", avg, load)
+				}
+				// The report-time component view must also be hot-path
+				// clean: it folds the counters into a stack value.
+				if avg := testing.AllocsPerRun(100, func() { _ = n.Acct.Components() }); avg != 0 {
+					t.Fatalf("Components() allocates %.3f times per call, want 0", avg)
+				}
+			})
+		}
+	}
+}
+
 // TestStepAllocsLoadedSteadyState pins zero allocations per cycle with
 // traffic in flight: after a warm-up burst has sized every scratch
 // buffer, free list, and pool, a steady stream of new packets keeps

@@ -1,8 +1,15 @@
 package network
 
+import "powerpunch/internal/power"
+
 // DetailVersion identifies the RunDetail JSON schema. Bump it only
 // with a deliberate format change; consumers key on it.
-const DetailVersion = 1
+// Version 2 added the per-component Energy section.
+const DetailVersion = 2
+
+// EnergyVersion identifies the EnergyBreakdown JSON schema (the
+// component taxonomy and class split).
+const EnergyVersion = 1
 
 // StageBreakdown decomposes the total packet latency of a run into
 // pipeline stages, in exact integer cycles: summed over every measured
@@ -48,16 +55,101 @@ type PunchBreakdown struct {
 	StrictDrops     int64 `json:"strict_drops"`
 }
 
+// ComponentEnergy is one component's energy over the measured window,
+// in joules, split into the aggregate model's three classes.
+type ComponentEnergy struct {
+	Dynamic  float64 `json:"dynamic_j"`
+	Static   float64 `json:"static_j"`
+	Overhead float64 `json:"overhead_j"`
+}
+
+// Total returns the component's summed energy.
+func (c ComponentEnergy) Total() float64 { return c.Dynamic + c.Static + c.Overhead }
+
+// EnergyBreakdown is the versioned per-component energy decomposition
+// of a run (EnergyVersion), derived from the power accountant's
+// integer event counters — so it is bit-identical across the serial,
+// full-walk, and sharded parallel tick engines. Its class sums
+// reconcile with the float-accumulated aggregate RunResult.Energy
+// within summation tolerance (the aggregate stays the regression
+// oracle for the paper's numbers; a differential test in
+// internal/experiments enforces the reconciliation).
+type EnergyBreakdown struct {
+	Version  int             `json:"version"`
+	Buffer   ComponentEnergy `json:"buffer"`   // input buffers (write + read)
+	Crossbar ComponentEnergy `json:"crossbar"` // crossbar traversal
+	Alloc    ComponentEnergy `json:"alloc"`    // VC + switch allocation
+	Clock    ComponentEnergy `json:"clock"`    // clock tree
+	Link     ComponentEnergy `json:"link"`     // inter-router links
+	Punch    ComponentEnergy `json:"punch"`    // punch-channel signalling
+	Wakeup   ComponentEnergy `json:"wakeup"`   // WU/PG handshake
+	Gate     ComponentEnergy `json:"gate"`     // gate transitions + gated residual leak
+}
+
+// Component returns component c's energy (the named fields, indexed).
+func (e *EnergyBreakdown) Component(c power.Component) ComponentEnergy {
+	switch c {
+	case power.CompBuffer:
+		return e.Buffer
+	case power.CompCrossbar:
+		return e.Crossbar
+	case power.CompAlloc:
+		return e.Alloc
+	case power.CompClock:
+		return e.Clock
+	case power.CompLink:
+		return e.Link
+	case power.CompPunch:
+		return e.Punch
+	case power.CompWakeup:
+		return e.Wakeup
+	case power.CompGate:
+		return e.Gate
+	default:
+		return ComponentEnergy{}
+	}
+}
+
+// Total returns the summed energy of every component.
+func (e *EnergyBreakdown) Total() float64 {
+	var t float64
+	for c := power.Component(0); c < power.NumComponents; c++ {
+		t += e.Component(c).Total()
+	}
+	return t
+}
+
+// energyBreakdownFrom converts the power package's indexed component
+// array into the named, JSON-stable export form.
+func energyBreakdownFrom(b power.ComponentBreakdown) EnergyBreakdown {
+	conv := func(c power.Component) ComponentEnergy {
+		return ComponentEnergy{Dynamic: b[c].Dynamic, Static: b[c].Static, Overhead: b[c].Overhead}
+	}
+	return EnergyBreakdown{
+		Version:  EnergyVersion,
+		Buffer:   conv(power.CompBuffer),
+		Crossbar: conv(power.CompCrossbar),
+		Alloc:    conv(power.CompAlloc),
+		Clock:    conv(power.CompClock),
+		Link:     conv(power.CompLink),
+		Punch:    conv(power.CompPunch),
+		Wakeup:   conv(power.CompWakeup),
+		Gate:     conv(power.CompGate),
+	}
+}
+
 // RunDetail is the versioned, JSON-stable detail section of a
-// RunResult: the exact latency stage decomposition plus power-gating
-// and punch-fabric activity. It is a flat comparable value (tests
-// compare whole RunResults with ==) and is always populated — the
-// inputs are counters the simulation maintains anyway.
+// RunResult: the exact latency stage decomposition plus power-gating,
+// punch-fabric, and per-component energy breakdowns. It is a flat
+// comparable value (tests compare whole RunResults with ==) and is
+// always populated — the inputs are counters the simulation maintains
+// anyway.
 type RunDetail struct {
-	Version int            `json:"version"`
-	Stages  StageBreakdown `json:"stages"`
-	PG      PGBreakdown    `json:"pg"`
-	Punch   PunchBreakdown `json:"punch"`
+	Version int             `json:"version"`
+	Stages  StageBreakdown  `json:"stages"`
+	PG      PGBreakdown     `json:"pg"`
+	Punch   PunchBreakdown  `json:"punch"`
+	Energy  EnergyBreakdown `json:"energy"`
 }
 
 // detail assembles the RunDetail from the run's collectors. Call only
@@ -95,5 +187,6 @@ func (n *Network) detail() RunDetail {
 			StrictDrops:     fs.StrictDrops,
 		}
 	}
+	d.Energy = energyBreakdownFrom(n.Acct.Components())
 	return d
 }

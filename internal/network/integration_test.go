@@ -8,6 +8,7 @@ import (
 	"powerpunch/internal/config"
 	"powerpunch/internal/flit"
 	"powerpunch/internal/mesh"
+	"powerpunch/internal/power"
 )
 
 // randomDriver injects uniformly random packets directly (bypassing the
@@ -263,8 +264,8 @@ func TestNoPGHasZeroOverheadEnergy(t *testing.T) {
 	if e.Overhead != 0 {
 		t.Errorf("No-PG overhead energy = %g", e.Overhead)
 	}
-	if n.Acct.GatedCycles != 0 {
-		t.Errorf("No-PG gated cycles = %d", n.Acct.GatedCycles)
+	if n.Acct.Count(power.EvGatedCycle) != 0 {
+		t.Errorf("No-PG gated cycles = %d", n.Acct.Count(power.EvGatedCycle))
 	}
 	if e.Dynamic == 0 || e.Static == 0 {
 		t.Error("missing dynamic/static energy")

@@ -209,10 +209,15 @@ func (n *Network) Close() {
 	}
 }
 
-// powerConstants adapts the default power constants to the configured
-// break-even time.
+// powerConstants resolves the configured calibration preset and adapts
+// it to the configured break-even time. Unknown preset names are
+// rejected by cfg.Validate before construction reaches here; the
+// defensive fallback keeps direct callers on the paper calibration.
 func powerConstants(cfg config.Config) power.Constants {
-	c := power.DefaultConstants()
+	c, ok := power.PresetByName(cfg.PowerPreset)
+	if !ok {
+		c = power.DefaultConstants()
+	}
 	c.BreakEvenCycles = cfg.BreakEven
 	return c
 }

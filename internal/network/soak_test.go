@@ -8,6 +8,7 @@ import (
 	"powerpunch/internal/config"
 	"powerpunch/internal/flit"
 	"powerpunch/internal/mesh"
+	"powerpunch/internal/obs"
 )
 
 // TestSoakLongRun exercises 60k cycles of mixed traffic on an 8x8 mesh
@@ -151,6 +152,95 @@ func TestSoakParallel(t *testing.T) {
 			t.Fatalf("ejected %d of %d injected packets", ejected, injected)
 		}
 	})
+}
+
+// TestSoakParallelEnergy is the energy-enabled leg of the parallel
+// soak (its name matches `soak-par`'s TestSoakParallel regex, so it
+// runs under -race in the same target): every scheme on mesh and
+// torus on the sharded engine with per-component accounting charging
+// every cycle and a timeline sampler differencing the accountant at
+// window boundaries — full data-race coverage of the counter lanes,
+// the lane fold, and the fold-before-EndCycle ordering. At the end the
+// component view must reconcile with the float aggregate and the
+// sampler must have produced live power columns.
+func TestSoakParallelEnergy(t *testing.T) {
+	fabrics := []struct {
+		topo          string
+		width, height int
+	}{
+		{"mesh", 8, 8},
+		{"torus", 4, 4},
+	}
+	for _, fab := range fabrics {
+		for _, s := range config.Schemes {
+			fab, s := fab, s
+			t.Run(fab.topo+"/"+s.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := config.Default()
+				cfg.Scheme = s
+				cfg.Topology = fab.topo
+				cfg.Width, cfg.Height = fab.width, fab.height
+				cfg.WarmupCycles = 0
+				cfg.MeasureCycles = 1 << 40
+				cfg.Workers = 4
+				n := mustNew(t, cfg)
+				defer n.Close()
+				sampler := obs.NewSampler(256)
+				n.Observe(sampler)
+				n.SetAccounting(true)
+				d := &randomDriver{rng: rand.New(rand.NewSource(31)), rate: 0.012, until: 4_000}
+				for cyc := 0; cyc < 4_000; cyc++ {
+					d.Tick(n, n.Now())
+					n.Step()
+				}
+				for cyc := 0; cyc < 20_000 && !n.Quiesced(); cyc++ {
+					n.Step()
+				}
+				if !n.Quiesced() {
+					t.Fatal("energy soak did not quiesce")
+				}
+
+				agg := n.Acct.Network()
+				comps := n.Acct.Components()
+				cls := comps.Classes()
+				const tol = 1e-9
+				for _, c := range []struct {
+					name     string
+					got, ref float64
+				}{
+					{"dynamic", cls.Dynamic, agg.Dynamic},
+					{"static", cls.Static, agg.Static},
+					{"overhead", cls.Overhead, agg.Overhead},
+				} {
+					d := c.got - c.ref
+					if d < 0 {
+						d = -d
+					}
+					if m := max(abs(c.got), abs(c.ref)); m > 0 && d/m > tol {
+						t.Errorf("%s: components %.12e vs aggregate %.12e", c.name, c.got, c.ref)
+					}
+				}
+				livePower := false
+				for _, sm := range sampler.Samples() {
+					for _, w := range sm.PowerW {
+						if w > 0 {
+							livePower = true
+						}
+					}
+				}
+				if !livePower {
+					t.Error("sampler recorded no nonzero power columns")
+				}
+			})
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // TestSoakWithChecks is the tier-2 gate variant (Makefile `check`,

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"powerpunch/internal/power"
 )
 
 // Sample is one row of the time-series a Sampler produces: the state
@@ -11,6 +13,11 @@ import (
 // over the window; Gated/Waking/Active are instantaneous at the
 // window's closing cycle. The JSON field names are a stable export
 // format (sampleVersion).
+//
+// The PowerW fields are the per-component average power draw over the
+// window in watts, derived from a PowerMeter when one is attached
+// (Network.Observe wires the power accountant in automatically) and
+// zero otherwise — including during warmup, when accounting is off.
 type Sample struct {
 	Cycle    int64 `json:"cycle"`  // closing cycle of the window
 	Gated    int   `json:"gated"`  // routers gated at Cycle
@@ -23,10 +30,24 @@ type Sample struct {
 	Stalls   int64 `json:"stalls"`   // pg-stall events in window
 	Wakeups  int64 `json:"wakeups"`  // wakeups begun in window
 	NIBlock  int64 `json:"ni_block"` // blocked source-NI cycles
+
+	// Per-component window-average power (W), in power.Component order.
+	PowerW [power.NumComponents]float64 `json:"power_w"`
 }
 
 // SampleVersion identifies the Sample JSON schema.
-const SampleVersion = 1
+// Version 2 added the per-component power columns.
+const SampleVersion = 2
+
+// PowerMeter provides cumulative per-component energy readings; the
+// Sampler differences them at window boundaries to produce power
+// columns. power.Accountant implements it. Readings must be current at
+// EndCycle (all tick engines settle accounting — including parallel
+// lane folds — before the bus closes the cycle).
+type PowerMeter interface {
+	Components() power.ComponentBreakdown
+	CycleTime() float64
+}
 
 // Sampler is a CycleSink producing a periodic timeline of power and
 // traffic activity: how many routers are gated/waking, and windowed
@@ -38,6 +59,9 @@ type Sampler struct {
 	state    []uint8 // per-node power state: 0 active, 1 waking, 2 gated
 	win      Sample  // accumulating window
 	samples  []Sample
+
+	meter PowerMeter               // nil: power columns stay zero
+	last  power.ComponentBreakdown // cumulative energies at last window close
 }
 
 // NewSampler returns a Sampler emitting one Sample every interval
@@ -59,6 +83,11 @@ func (s *Sampler) SetMeta(m Meta) {
 
 // Interval returns the sampling window length in cycles.
 func (s *Sampler) Interval() int64 { return s.interval }
+
+// SetPowerMeter attaches the cumulative energy source the power
+// columns are differenced from. Network.Observe calls it with the
+// run's power accountant; attach before the first cycle.
+func (s *Sampler) SetPowerMeter(m PowerMeter) { s.meter = m }
 
 func (s *Sampler) ensure(n int) {
 	if n > len(s.state) {
@@ -111,6 +140,16 @@ func (s *Sampler) EndCycle(cycle int64) {
 		}
 	}
 	s.win.Active = len(s.state) - s.win.Gated - s.win.Waking
+	if s.meter != nil {
+		cur := s.meter.Components()
+		secs := float64(s.interval) * s.meter.CycleTime()
+		for c := range cur {
+			e := cur[c]
+			prev := s.last[c]
+			s.win.PowerW[c] = (e.Total() - prev.Total()) / secs
+		}
+		s.last = cur
+	}
 	s.samples = append(s.samples, s.win)
 	s.win = Sample{}
 }
@@ -119,8 +158,15 @@ func (s *Sampler) EndCycle(cycle int64) {
 // not mutate while the run continues).
 func (s *Sampler) Samples() []Sample { return s.samples }
 
-// csvHeader lists the CSV columns, in Sample field order.
-const csvHeader = "cycle,gated,waking,active,injected,ejected,switched,punches,stalls,wakeups,ni_block"
+// csvHeader lists the CSV columns: the Sample counter fields in order,
+// then one p_<component>_w power column per power.Component.
+var csvHeader = func() string {
+	h := "cycle,gated,waking,active,injected,ejected,switched,punches,stalls,wakeups,ni_block"
+	for _, name := range power.ComponentNames() {
+		h += ",p_" + name + "_w"
+	}
+	return h
+}()
 
 // WriteCSV writes the timeline as CSV with a header row.
 func (s *Sampler) WriteCSV(w io.Writer) error {
@@ -128,10 +174,18 @@ func (s *Sampler) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for _, r := range s.samples {
-		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
 			r.Cycle, r.Gated, r.Waking, r.Active, r.Injected, r.Ejected,
 			r.Switched, r.Punches, r.Stalls, r.Wakeups, r.NIBlock)
 		if err != nil {
+			return err
+		}
+		for _, p := range r.PowerW {
+			if _, err := fmt.Fprintf(w, ",%.6e", p); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
 			return err
 		}
 	}

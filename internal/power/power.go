@@ -5,16 +5,31 @@
 // crossbar traversal, link traversal), static energy per cycle per
 // powered-on router, and power-gating overhead per sleep/wake transition.
 //
+// The model keeps two reconciled views of the same charges:
+//
+//   - The aggregate Breakdown (dynamic / static / overhead) is
+//     accumulated per event in per-router float accumulators, in
+//     simulation order — the original model, retained as the regression
+//     oracle for the paper's aggregate numbers (the seed-locked golden
+//     suite pins it).
+//   - The per-component ComponentBreakdown (buffers, crossbar,
+//     allocators, clock tree, links, punch channel, WU handshake, gate
+//     overhead) is derived on demand from the integer event counters.
+//     Integer sums are order-insensitive, so this view is bit-identical
+//     across the serial, full-walk, and sharded parallel engines.
+//
 // The constants are calibrated so that, at PARSEC-like loads on the
 // paper's minimal 8x8 configuration, static power is ~64% of total router
 // power (paper Section 2.1) and the break-even time is 10 cycles (paper
 // Section 5): gating for fewer than BET cycles wastes energy, exactly as
-// in the paper's accounting.
+// in the paper's accounting. Alternative calibrations are grouped into
+// named presets (see PresetByName); the paper's numbers are the
+// paper-hpca15 preset.
 package power
 
 // Constants is the set of per-event energies (joules) and per-cycle
 // powers used by the model. The zero value is useless; start from
-// DefaultConstants.
+// DefaultConstants or a named preset (PresetByName).
 type Constants struct {
 	CycleTime float64 // seconds per cycle
 
@@ -24,6 +39,11 @@ type Constants struct {
 	EArbitration float64 // VC + switch allocation per traversing flit
 	ECrossbar    float64
 	ELink        float64
+
+	// EClockCycle is the clock tree's dynamic energy per powered-on
+	// router-cycle. Zero in the paper-hpca15 preset (the paper folds the
+	// clock into the static figure), nonzero in the scaled presets.
+	EClockCycle float64
 
 	// EPunchHop is the dynamic energy of asserting one punch channel for
 	// one cycle (the narrow 5-bit/2-bit sideband of Figure 5 plus its
@@ -36,8 +56,19 @@ type Constants struct {
 	// PStaticRouter is the leakage power of one powered-on router (W).
 	PStaticRouter float64
 
+	// StaticFracBuffer..StaticFracClock apportion PStaticRouter across
+	// the leaking components (input buffers, crossbar, allocators, clock
+	// tree) for the per-component view. They must sum to 1 so the
+	// component static energies reconcile with the aggregate oracle; the
+	// apportionment itself never changes any aggregate number.
+	StaticFracBuffer   float64
+	StaticFracCrossbar float64
+	StaticFracAlloc    float64
+	StaticFracClock    float64
+
 	// GatedLeakFrac is the fraction of PStaticRouter still leaking while
-	// gated (sleep-switch and always-on PG controller leakage).
+	// gated (sleep-switch and always-on PG controller leakage),
+	// attributed to the gate component.
 	GatedLeakFrac float64
 
 	// BreakEvenCycles converts to the per-gating-event overhead: one
@@ -47,7 +78,7 @@ type Constants struct {
 }
 
 // DefaultConstants returns the 45 nm, 2 GHz calibration described in the
-// package comment.
+// package comment — the paper-hpca15 preset.
 func DefaultConstants() Constants {
 	return Constants{
 		CycleTime: 0.5e-9, // 2 GHz
@@ -57,12 +88,21 @@ func DefaultConstants() Constants {
 		EArbitration: 15.0e-12,
 		ECrossbar:    110.0e-12,
 		ELink:        140.0e-12,
+		EClockCycle:  0,
 
 		EPunchHop:     0.12e-12,
 		EWakeupSignal: 0.05e-12,
 
 		PStaticRouter: 28.0e-3, // 28 mW leakage per router
 		GatedLeakFrac: 0.0,
+
+		// DSENT-flavoured leakage apportionment for the per-component
+		// view: buffers and the clock tree dominate, the crossbar wires
+		// and allocator logic leak less. Sums to 1 exactly.
+		StaticFracBuffer:   0.32,
+		StaticFracCrossbar: 0.15,
+		StaticFracAlloc:    0.08,
+		StaticFracClock:    0.45,
 
 		BreakEvenCycles: 10,
 	}
@@ -79,6 +119,25 @@ func (c Constants) EGatingOverhead() float64 {
 	return float64(c.BreakEvenCycles) * c.EStaticCycle()
 }
 
+// StaticFrac returns the fraction of PStaticRouter attributed to
+// component comp (zero for components that are not modelled as leaking:
+// links and the PG machinery, whose residual gated leak is charged via
+// GatedLeakFrac instead).
+func (c Constants) StaticFrac(comp Component) float64 {
+	switch comp {
+	case CompBuffer:
+		return c.StaticFracBuffer
+	case CompCrossbar:
+		return c.StaticFracCrossbar
+	case CompAlloc:
+		return c.StaticFracAlloc
+	case CompClock:
+		return c.StaticFracClock
+	default:
+		return 0
+	}
+}
+
 // RouterState is the power-relevant state of a router during a cycle.
 type RouterState int
 
@@ -93,8 +152,8 @@ const (
 // Breakdown is an energy decomposition in joules, matching the three bars
 // of the paper's Figure 11.
 type Breakdown struct {
-	Dynamic  float64 // buffers, allocators, crossbars, links
-	Static   float64 // leakage while on or waking
+	Dynamic  float64 // buffers, allocators, crossbars, clock, links
+	Static   float64 // leakage while on or waking (+ residual gated leak)
 	Overhead float64 // gating transitions, punch & wakeup signalling
 }
 
@@ -108,34 +167,39 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.Overhead += o.Overhead
 }
 
-// eventCounters is the set of integer event counters the accountant
-// exposes (embedded, so they read as Accountant fields). Integer sums
-// are order-insensitive, which is what lets the sharded parallel tick
-// engine accumulate them in per-worker lanes and fold them afterwards
-// while staying bit-identical to the serial engine.
-type eventCounters struct {
-	BufferWrites int64
-	BufferReads  int64
-	Crossbars    int64
-	LinkHops     int64
-	PunchHops    int64
-	WakeupSigs   int64
-	GatingEvents int64
-	GatedCycles  int64 // router-cycles spent gated
-	OnCycles     int64 // router-cycles spent on or waking
-}
+// Event identifies one kind of component-tagged charge. Each emission
+// site in the simulator maps to one or more events; each event maps to
+// exactly one Component (see eventComponent), which is what makes the
+// counter set sufficient to derive the per-component breakdown.
+type Event int
+
+// The counted events. The trailing two are state events (router-cycles
+// in a power state), the rest are occurrence events.
+const (
+	EvBufferWrite Event = iota
+	EvBufferRead
+	EvArbitration
+	EvCrossbar
+	EvLink
+	EvPunchHop
+	EvWakeupSig
+	EvGating
+	EvGatedCycle // router-cycles spent gated
+	EvOnCycle    // router-cycles spent on or waking
+	numEvents
+)
+
+// eventCounters is one set of integer event counters, indexed by Event.
+// Integer sums are order-insensitive, which is what lets the sharded
+// parallel tick engine accumulate them in per-worker lanes and fold
+// them afterwards while staying bit-identical to the serial engine.
+type eventCounters [numEvents]int64
 
 // add accumulates o into c.
 func (c *eventCounters) add(o *eventCounters) {
-	c.BufferWrites += o.BufferWrites
-	c.BufferReads += o.BufferReads
-	c.Crossbars += o.Crossbars
-	c.LinkHops += o.LinkHops
-	c.PunchHops += o.PunchHops
-	c.WakeupSigs += o.WakeupSigs
-	c.GatingEvents += o.GatingEvents
-	c.GatedCycles += o.GatedCycles
-	c.OnCycles += o.OnCycles
+	for ev := range c {
+		c[ev] += o[ev]
+	}
 }
 
 // counterLane is one worker's counter lane, padded so lanes on adjacent
@@ -159,10 +223,10 @@ type Accountant struct {
 	perRouter []Breakdown
 	cycles    int64 // enabled cycles accumulated
 
-	// Event counters (for reporting and tests); embedded so they are
-	// addressable as a.BufferWrites etc. With lanes installed these are
-	// only current after FoldLanes.
-	eventCounters
+	// Folded event counters (for reporting, the per-component view, and
+	// tests). With lanes installed these are only current after
+	// FoldLanes.
+	counts eventCounters
 
 	lanes  []counterLane
 	laneOf []int32 // router -> lane; nil selects the direct (serial) path
@@ -184,7 +248,7 @@ func (a *Accountant) SetEnabled(v bool) { a.enabled = v }
 // path). The parallel engine calls it once at construction; each lane
 // must only ever be written by its owning worker (or by the coordinator
 // outside worker sections), and FoldLanes must run before anything reads
-// the embedded counters.
+// the folded counters.
 func (a *Accountant) SetLanes(laneOf []int32, nLanes int) {
 	if laneOf == nil || nLanes <= 0 {
 		a.laneOf, a.lanes = nil, nil
@@ -194,22 +258,22 @@ func (a *Accountant) SetLanes(laneOf []int32, nLanes int) {
 	a.lanes = make([]counterLane, nLanes)
 }
 
-// FoldLanes drains every lane into the embedded counters. Integer
+// FoldLanes drains every lane into the folded counters. Integer
 // addition commutes, so the fold order cannot affect the result; the
 // coordinator calls this once per cycle with all workers quiescent.
 func (a *Accountant) FoldLanes() {
 	for i := range a.lanes {
-		a.eventCounters.add(&a.lanes[i].eventCounters)
+		a.counts.add(&a.lanes[i].eventCounters)
 		a.lanes[i].eventCounters = eventCounters{}
 	}
 }
 
 // counters returns the counter set router r's events accumulate into:
-// the embedded struct on the serial path, the owning worker's lane once
+// the folded set on the serial path, the owning worker's lane once
 // lanes are installed.
 func (a *Accountant) counters(r int) *eventCounters {
 	if a.laneOf == nil {
-		return &a.eventCounters
+		return &a.counts
 	}
 	return &a.lanes[a.laneOf[r]].eventCounters
 }
@@ -217,28 +281,37 @@ func (a *Accountant) counters(r int) *eventCounters {
 // Enabled reports whether accounting is active.
 func (a *Accountant) Enabled() bool { return a.enabled }
 
+// Count returns the folded count of event ev. With lanes installed the
+// value is current only after FoldLanes.
+func (a *Accountant) Count(ev Event) int64 { return a.counts[ev] }
+
 // TickStatic charges one cycle of leakage for router r in state s, and
-// must be called exactly once per router per cycle.
+// must be called exactly once per router per cycle. Powered-on (and
+// waking) routers additionally draw the clock tree's dynamic energy
+// when the calibration models it.
 func (a *Accountant) TickStatic(r int, s RouterState) {
 	if !a.enabled {
 		return
 	}
 	switch s {
 	case Gated:
-		a.counters(r).GatedCycles++
+		a.counters(r)[EvGatedCycle]++
 		if a.C.GatedLeakFrac > 0 {
 			a.perRouter[r].Static += a.C.GatedLeakFrac * a.C.EStaticCycle()
 		}
 	default:
-		a.counters(r).OnCycles++
+		a.counters(r)[EvOnCycle]++
 		a.perRouter[r].Static += a.C.EStaticCycle()
+		if a.C.EClockCycle != 0 {
+			a.perRouter[r].Dynamic += a.C.EClockCycle
+		}
 	}
 }
 
 // TickStaticN charges n cycles of leakage for router r in state s, as if
 // TickStatic had been called n times. The active-set scheduler uses it to
-// catch a skipped (parked) router up; the per-router Static accumulator
-// is advanced by n individual float additions so the result stays
+// catch a skipped (parked) router up; the per-router float accumulators
+// are advanced by n individual additions so the result stays
 // bit-identical to the per-cycle full-walk path.
 func (a *Accountant) TickStaticN(r int, s RouterState, n int64) {
 	if !a.enabled || n <= 0 {
@@ -246,7 +319,7 @@ func (a *Accountant) TickStaticN(r int, s RouterState, n int64) {
 	}
 	switch s {
 	case Gated:
-		a.counters(r).GatedCycles += n
+		a.counters(r)[EvGatedCycle] += n
 		if a.C.GatedLeakFrac > 0 {
 			e := a.C.GatedLeakFrac * a.C.EStaticCycle()
 			for i := int64(0); i < n; i++ {
@@ -254,10 +327,15 @@ func (a *Accountant) TickStaticN(r int, s RouterState, n int64) {
 			}
 		}
 	default:
-		a.counters(r).OnCycles += n
+		a.counters(r)[EvOnCycle] += n
 		e := a.C.EStaticCycle()
 		for i := int64(0); i < n; i++ {
 			a.perRouter[r].Static += e
+		}
+		if a.C.EClockCycle != 0 {
+			for i := int64(0); i < n; i++ {
+				a.perRouter[r].Dynamic += a.C.EClockCycle
+			}
 		}
 	}
 }
@@ -273,69 +351,76 @@ func (a *Accountant) TickCycle() {
 // Cycles returns the number of measured cycles.
 func (a *Accountant) Cycles() int64 { return a.cycles }
 
-// BufferWrite charges a flit buffer write at router r.
+// BufferWrite charges a flit buffer write at router r (component:
+// input buffers).
 func (a *Accountant) BufferWrite(r int) {
 	if !a.enabled {
 		return
 	}
-	a.counters(r).BufferWrites++
+	a.counters(r)[EvBufferWrite]++
 	a.perRouter[r].Dynamic += a.C.EBufferWrite
 }
 
 // Traverse charges a flit's buffer read, arbitration, and crossbar
-// traversal at router r (the switch-traversal event).
+// traversal at router r — the switch-traversal event, spanning the
+// buffer, allocator, and crossbar components.
 func (a *Accountant) Traverse(r int) {
 	if !a.enabled {
 		return
 	}
 	c := a.counters(r)
-	c.BufferReads++
-	c.Crossbars++
+	c[EvBufferRead]++
+	c[EvArbitration]++
+	c[EvCrossbar]++
 	a.perRouter[r].Dynamic += a.C.EBufferRead + a.C.EArbitration + a.C.ECrossbar
 }
 
 // LinkHop charges a flit's traversal of one inter-router link, attributed
-// to the sending router r.
+// to the sending router r (component: links).
 func (a *Accountant) LinkHop(r int) {
 	if !a.enabled {
 		return
 	}
-	a.counters(r).LinkHops++
+	a.counters(r)[EvLink]++
 	a.perRouter[r].Dynamic += a.C.ELink
 }
 
-// PunchHop charges one cycle of punch-channel assertion leaving router r.
+// PunchHop charges one cycle of punch-channel assertion leaving router r
+// (component: punch channel; overhead class).
 func (a *Accountant) PunchHop(r int) {
 	if !a.enabled {
 		return
 	}
-	a.counters(r).PunchHops++
+	a.counters(r)[EvPunchHop]++
 	a.perRouter[r].Overhead += a.C.EPunchHop
 }
 
-// WakeupSignal charges one WU/PG handshake assertion at router r.
+// WakeupSignal charges one WU/PG handshake assertion at router r
+// (component: wakeup signalling; overhead class).
 func (a *Accountant) WakeupSignal(r int) {
 	if !a.enabled {
 		return
 	}
-	a.counters(r).WakeupSigs++
+	a.counters(r)[EvWakeupSig]++
 	a.perRouter[r].Overhead += a.C.EWakeupSignal
 }
 
 // GatingEvent charges the sleep/wake round-trip overhead of one
-// power-gating event at router r (charged when the router begins waking).
+// power-gating event at router r (charged when the router begins
+// waking; component: gate).
 func (a *Accountant) GatingEvent(r int) {
 	if !a.enabled {
 		return
 	}
-	a.counters(r).GatingEvents++
+	a.counters(r)[EvGating]++
 	a.perRouter[r].Overhead += a.C.EGatingOverhead()
 }
 
-// Router returns router r's accumulated breakdown.
+// Router returns router r's accumulated aggregate breakdown.
 func (a *Accountant) Router(r int) Breakdown { return a.perRouter[r] }
 
-// Network returns the network-wide breakdown.
+// Network returns the network-wide aggregate breakdown (the float
+// oracle, accumulated in simulation order).
 func (a *Accountant) Network() Breakdown {
 	var total Breakdown
 	for i := range a.perRouter {
@@ -343,6 +428,39 @@ func (a *Accountant) Network() Breakdown {
 	}
 	return total
 }
+
+// Components returns the network-wide per-component breakdown, derived
+// from the folded integer event counters and the calibration. With
+// lanes installed the result is current only after FoldLanes (the
+// parallel engine folds once per cycle, so post-run and end-of-cycle
+// reads always see folded counters). Being a pure function of integer
+// counters, the result is bit-identical across tick engines.
+func (a *Accountant) Components() ComponentBreakdown {
+	var b ComponentBreakdown
+	c := a.C
+	n := &a.counts
+	b[CompBuffer].Dynamic = float64(n[EvBufferWrite])*c.EBufferWrite + float64(n[EvBufferRead])*c.EBufferRead
+	b[CompCrossbar].Dynamic = float64(n[EvCrossbar]) * c.ECrossbar
+	b[CompAlloc].Dynamic = float64(n[EvArbitration]) * c.EArbitration
+	b[CompClock].Dynamic = float64(n[EvOnCycle]) * c.EClockCycle
+	b[CompLink].Dynamic = float64(n[EvLink]) * c.ELink
+
+	es := c.EStaticCycle()
+	on := float64(n[EvOnCycle])
+	b[CompBuffer].Static = on * c.StaticFracBuffer * es
+	b[CompCrossbar].Static = on * c.StaticFracCrossbar * es
+	b[CompAlloc].Static = on * c.StaticFracAlloc * es
+	b[CompClock].Static = on * c.StaticFracClock * es
+
+	b[CompPunch].Overhead = float64(n[EvPunchHop]) * c.EPunchHop
+	b[CompWakeup].Overhead = float64(n[EvWakeupSig]) * c.EWakeupSignal
+	b[CompGate].Overhead = float64(n[EvGating]) * c.EGatingOverhead()
+	b[CompGate].Static = float64(n[EvGatedCycle]) * c.GatedLeakFrac * es
+	return b
+}
+
+// CycleTime returns the calibration's seconds per cycle (obs.PowerMeter).
+func (a *Accountant) CycleTime() float64 { return a.C.CycleTime }
 
 // AvgStaticPower returns the average network static power in watts over
 // the measured window, counting gating overhead as static (the paper's

@@ -63,7 +63,8 @@ func TestEventEnergies(t *testing.T) {
 	if got := a.Router(0).Dynamic; math.Abs(got-want) > 1e-18 {
 		t.Errorf("dynamic = %g, want %g", got, want)
 	}
-	if a.BufferWrites != 1 || a.BufferReads != 1 || a.Crossbars != 1 || a.LinkHops != 1 {
+	if a.Count(EvBufferWrite) != 1 || a.Count(EvBufferRead) != 1 ||
+		a.Count(EvArbitration) != 1 || a.Count(EvCrossbar) != 1 || a.Count(EvLink) != 1 {
 		t.Error("event counters")
 	}
 }
@@ -147,5 +148,164 @@ func TestZeroCycleGuards(t *testing.T) {
 	a := NewAccountant(1, DefaultConstants())
 	if a.AvgStaticPower() != 0 || a.StaticSavedFrac() != 0 {
 		t.Error("zero-cycle accountant must report zeros, not NaN")
+	}
+}
+
+func TestPresetRegistry(t *testing.T) {
+	names := Presets()
+	if len(names) < 2 {
+		t.Fatalf("expected multiple presets, got %v", names)
+	}
+	seen := false
+	for _, n := range names {
+		c, ok := PresetByName(n)
+		if !ok {
+			t.Fatalf("Presets lists %q but PresetByName rejects it", n)
+		}
+		if c.CycleTime <= 0 || c.PStaticRouter <= 0 {
+			t.Errorf("preset %q has degenerate constants: %+v", n, c)
+		}
+		// The static apportionment must sum to 1 so the per-component
+		// static energies reconcile with the aggregate oracle.
+		sum := c.StaticFracBuffer + c.StaticFracCrossbar + c.StaticFracAlloc + c.StaticFracClock
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("preset %q static fractions sum to %g, want 1", n, sum)
+		}
+		if n == DefaultPreset {
+			seen = true
+			if c != DefaultConstants() {
+				t.Errorf("preset %q must be exactly DefaultConstants (the golden suite pins it)", n)
+			}
+		}
+	}
+	if !seen {
+		t.Fatalf("default preset %q missing from %v", DefaultPreset, names)
+	}
+	if c, ok := PresetByName(""); !ok || c != DefaultConstants() {
+		t.Error("empty name must select the default preset")
+	}
+	if _, ok := PresetByName("no-such-preset"); ok {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	names := ComponentNames()
+	if len(names) != int(NumComponents) {
+		t.Fatalf("ComponentNames has %d entries, want %d", len(names), NumComponents)
+	}
+	uniq := map[string]bool{}
+	for _, n := range names {
+		if n == "" || n == "component?" || uniq[n] {
+			t.Errorf("bad or duplicate component name %q", n)
+		}
+		uniq[n] = true
+	}
+}
+
+// chargeScript drives a fixed mixed workload against an accountant:
+// every event kind on a spread of routers, so both views accumulate
+// nontrivial values in every class.
+func chargeScript(a *Accountant, routers int) {
+	a.SetEnabled(true)
+	for cyc := 0; cyc < 200; cyc++ {
+		for r := 0; r < routers; r++ {
+			st := On
+			if (r+cyc)%3 == 0 {
+				st = Gated
+			}
+			a.TickStatic(r, st)
+			if (r+cyc)%2 == 0 {
+				a.BufferWrite(r)
+			}
+			if (r+cyc)%4 == 0 {
+				a.Traverse(r)
+				a.LinkHop(r)
+			}
+			if (r+cyc)%7 == 0 {
+				a.PunchHop(r)
+			}
+			if (r+cyc)%11 == 0 {
+				a.WakeupSignal(r)
+			}
+			if (r+cyc)%13 == 0 {
+				a.GatingEvent(r)
+			}
+		}
+		a.TickCycle()
+	}
+}
+
+// TestComponentsReconcileWithAggregate is the unit-level form of the
+// aggregate-oracle differential: the per-component class sums must
+// match the float-accumulated aggregate within summation tolerance,
+// for every preset (including ones with clock dynamic energy and
+// residual gated leak).
+func TestComponentsReconcileWithAggregate(t *testing.T) {
+	for _, name := range Presets() {
+		c, _ := PresetByName(name)
+		t.Run(name, func(t *testing.T) {
+			a := NewAccountant(16, c)
+			chargeScript(a, 16)
+			comp := a.Components()
+			got, want := comp.Classes(), a.Network()
+			for _, pair := range []struct {
+				label     string
+				got, want float64
+			}{
+				{"dynamic", got.Dynamic, want.Dynamic},
+				{"static", got.Static, want.Static},
+				{"overhead", got.Overhead, want.Overhead},
+				{"total", comp.Total(), want.Total()},
+			} {
+				if relDiff(pair.got, pair.want) > 1e-9 {
+					t.Errorf("%s: components=%g aggregate=%g", pair.label, pair.got, pair.want)
+				}
+			}
+		})
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 0 {
+		return d / m
+	}
+	return d
+}
+
+// TestLaneFoldBitIdentical is the table-driven lane-folding proof at
+// the accountant level: the same charge stream applied through 2/4/8
+// lanes (with routers distributed round-robin) folds to counters — and
+// therefore a per-component breakdown — bit-identical to the serial
+// path.
+func TestLaneFoldBitIdentical(t *testing.T) {
+	const routers = 16
+	serial := NewAccountant(routers, DefaultConstants())
+	chargeScript(serial, routers)
+	want := serial.Components()
+
+	for _, lanes := range []int{2, 4, 8} {
+		a := NewAccountant(routers, DefaultConstants())
+		laneOf := make([]int32, routers)
+		for r := range laneOf {
+			laneOf[r] = int32(r % lanes)
+		}
+		a.SetLanes(laneOf, lanes)
+		chargeScript(a, routers)
+		a.FoldLanes()
+		if got := a.Components(); got != want {
+			t.Errorf("lanes=%d: per-component breakdown diverged from serial\n got=%+v\nwant=%+v", lanes, got, want)
+		}
+		for ev := Event(0); ev < numEvents; ev++ {
+			if a.Count(ev) != serial.Count(ev) {
+				t.Errorf("lanes=%d: event %d count %d != serial %d", lanes, ev, a.Count(ev), serial.Count(ev))
+			}
+		}
+		// Folding again must be a no-op (lanes were zeroed).
+		a.FoldLanes()
+		if got := a.Components(); got != want {
+			t.Errorf("lanes=%d: second fold changed the breakdown", lanes)
+		}
 	}
 }

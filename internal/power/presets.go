@@ -1,0 +1,77 @@
+package power
+
+import "sort"
+
+// DefaultPreset is the calibration every configuration uses unless it
+// selects another: the constants the paper's aggregate numbers were
+// locked against (the golden suite pins them).
+const DefaultPreset = "paper-hpca15"
+
+// presets is the calibrated Constants registry. paper-hpca15 must stay
+// exactly DefaultConstants — the seed-locked golden suite and the
+// committed README table are captured against it.
+var presets = map[string]func() Constants{
+	DefaultPreset: DefaultConstants,
+
+	// dsent-22nm: a 22 nm scaling of the default calibration in the
+	// spirit of DSENT's technology roll-down — roughly halved dynamic
+	// event energies, 0.6x leakage, an explicit clock-tree dynamic
+	// charge per powered-on cycle, and a small residual sleep-switch
+	// leak while gated. Illustrative calibration, not a paper claim.
+	"dsent-22nm": func() Constants {
+		c := DefaultConstants()
+		c.EBufferWrite = 42.0e-12
+		c.EBufferRead = 35.0e-12
+		c.EArbitration = 8.0e-12
+		c.ECrossbar = 55.0e-12
+		c.ELink = 75.0e-12
+		c.EClockCycle = 9.0e-12
+		c.EPunchHop = 0.06e-12
+		c.EWakeupSignal = 0.03e-12
+		c.PStaticRouter = 16.8e-3
+		c.GatedLeakFrac = 0.02
+		c.StaticFracBuffer = 0.30
+		c.StaticFracCrossbar = 0.13
+		c.StaticFracAlloc = 0.07
+		c.StaticFracClock = 0.50
+		return c
+	},
+
+	// leaky-32nm: a leakage-dominated corner (hot die, low-Vt library):
+	// 1.6x the default router leakage, a visible clock-tree dynamic
+	// term, and 5% residual leak while gated. Makes power gating look
+	// as good as it ever will; useful as the other end of the
+	// sensitivity range.
+	"leaky-32nm": func() Constants {
+		c := DefaultConstants()
+		c.EClockCycle = 5.0e-12
+		c.PStaticRouter = 45.0e-3
+		c.GatedLeakFrac = 0.05
+		return c
+	},
+}
+
+// Presets returns the known preset names, sorted.
+func Presets() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PresetByName returns the named calibration ("" selects
+// DefaultPreset). The bool reports whether the name is known; callers
+// that accept user input should surface unknown names loudly
+// (config.Validate wraps this in a typed error).
+func PresetByName(name string) (Constants, bool) {
+	if name == "" {
+		name = DefaultPreset
+	}
+	f, ok := presets[name]
+	if !ok {
+		return Constants{}, false
+	}
+	return f(), true
+}

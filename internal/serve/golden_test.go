@@ -3,10 +3,14 @@ package serve
 import (
 	"bytes"
 	"net/http"
+	"slices"
+	"strconv"
+	"strings"
 	"testing"
 
 	"powerpunch/internal/config"
 	"powerpunch/internal/experiments"
+	"powerpunch/internal/power"
 )
 
 // TestCampaignMatchesInProcessLoadsweep is the PR's golden
@@ -64,5 +68,30 @@ func TestCampaignMatchesInProcessLoadsweep(t *testing.T) {
 	}
 	if !bytes.Equal(want.Bytes(), got) {
 		t.Errorf("API sweep CSV diverges from in-process loadsweep:\nin-process:\n%s\nAPI:\n%s", want.Bytes(), got)
+	}
+
+	// The per-component energy columns ride the same equivalence: they
+	// must be present in the exported header and carry real (nonzero)
+	// values — the component detail survives the JSON round trip through
+	// the job record exactly because float64 marshaling is lossless.
+	lines := strings.Split(strings.TrimRight(string(got), "\n"), "\n")
+	header := strings.Split(lines[0], ",")
+	for _, name := range power.ComponentNames() {
+		col := "e_" + name + "_J"
+		idx := slices.Index(header, col)
+		if idx < 0 {
+			t.Fatalf("exported CSV header %v is missing column %s", header, col)
+		}
+		if name == "buffer" || name == "clock" {
+			// Every scheme buffers flits; the paper preset folds the
+			// clock tree into static power, so both columns must be
+			// nonzero on every row.
+			for _, line := range lines[1:] {
+				cells := strings.Split(line, ",")
+				if v, err := strconv.ParseFloat(cells[idx], 64); err != nil || v <= 0 {
+					t.Errorf("column %s: row %q has value %q, want > 0", col, line, cells[idx])
+				}
+			}
+		}
 	}
 }

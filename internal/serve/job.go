@@ -20,6 +20,7 @@ import (
 	"powerpunch/internal/config"
 	"powerpunch/internal/network"
 	"powerpunch/internal/parsec"
+	"powerpunch/internal/power"
 	"powerpunch/internal/traffic"
 )
 
@@ -42,6 +43,11 @@ type JobSpec struct {
 	Warmup   int64   `json:"warmup,omitempty"`   // warmup cycles before measurement
 	Seed     int64   `json:"seed,omitempty"`     // RNG seed
 	Workers  int     `json:"workers,omitempty"`  // tick-engine shards; results are engine-invariant
+
+	// PowerPreset selects the power-model calibration (power.Presets);
+	// empty means the paper's calibration. Unknown names are rejected at
+	// submission with config's typed error, before any job is queued.
+	PowerPreset string `json:"power_preset,omitempty"`
 }
 
 // withDefaults fills every zero field with its canonical default, so
@@ -79,6 +85,9 @@ func (s JobSpec) withDefaults() JobSpec {
 	}
 	if s.Seed == 0 {
 		s.Seed = 1
+	}
+	if s.PowerPreset == "" {
+		s.PowerPreset = power.DefaultPreset
 	}
 	return s
 }
@@ -138,6 +147,7 @@ func (s JobSpec) config() (config.Config, error) {
 	cfg.Width, cfg.Height = s.Width, s.Height
 	cfg.Seed = s.Seed
 	cfg.Workers = s.Workers
+	cfg.PowerPreset = s.PowerPreset
 	if s.Bench != "" {
 		// Full-system runs measure from cycle 0 until the protocol
 		// drains; Cycles only bounds the run.
@@ -158,10 +168,10 @@ func (s JobSpec) config() (config.Config, error) {
 // cache.
 func (s JobSpec) Key() string {
 	h := sha256.Sum256([]byte(fmt.Sprintf(
-		"noctrace-job-v1|scheme=%s|topo=%s|w=%d|h=%d|pattern=%s|rate=%s|bench=%s|instr=%d|cycles=%d|warmup=%d|seed=%d",
+		"noctrace-job-v2|scheme=%s|topo=%s|w=%d|h=%d|pattern=%s|rate=%s|bench=%s|instr=%d|cycles=%d|warmup=%d|seed=%d|preset=%s",
 		s.Scheme, s.Topology, s.Width, s.Height, s.Pattern,
 		strconv.FormatFloat(s.Rate, 'x', -1, 64),
-		s.Bench, s.Instr, s.Cycles, s.Warmup, s.Seed)))
+		s.Bench, s.Instr, s.Cycles, s.Warmup, s.Seed, s.PowerPreset)))
 	return hex.EncodeToString(h[:])
 }
 

@@ -100,6 +100,55 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestParallelEnergyComponentsBitIdentical is the per-component energy
+// model's engine-invariance claim, spelled out: on mesh and torus, for
+// every scheme, the parallel engine at 2, 4, and 8 workers must
+// reproduce the serial engine's RunDetail.Energy exactly — not within
+// tolerance, with == on every component's dynamic/static/overhead
+// float — because the breakdown is derived from folded integer event
+// counters, which commute across shard interleavings.
+func TestParallelEnergyComponentsBitIdentical(t *testing.T) {
+	fabrics := []struct {
+		topo          string
+		width, height int
+	}{
+		{"mesh", 4, 4},
+		{"torus", 4, 4},
+	}
+	for _, fab := range fabrics {
+		for _, s := range powerpunch.Schemes {
+			fab, s := fab, s
+			t.Run(fmt.Sprintf("%s/%s", fab.topo, s), func(t *testing.T) {
+				t.Parallel()
+				cfg := powerpunch.DefaultConfig()
+				cfg.Scheme = s
+				cfg.Topology = fab.topo
+				cfg.Width, cfg.Height = fab.width, fab.height
+				cfg.WarmupCycles = 200
+				cfg.MeasureCycles = 1200
+
+				serial, _ := runSynthetic(t, cfg, powerpunch.Uniform(), 0.25)
+				se := serial.Detail.Energy
+				if se.Total() == 0 {
+					t.Fatal("serial run accumulated no component energy")
+				}
+				if se.Buffer.Dynamic == 0 || se.Buffer.Static == 0 {
+					t.Errorf("buffer component missing energy: %+v", se.Buffer)
+				}
+				for _, workers := range []int{2, 4, 8} {
+					pcfg := cfg
+					pcfg.Workers = workers
+					par, _ := runSynthetic(t, pcfg, powerpunch.Uniform(), 0.25)
+					if pe := par.Detail.Energy; pe != se {
+						t.Errorf("workers=%d per-component energy differs from serial:\nserial   %+v\nparallel %+v",
+							workers, se, pe)
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestParallelObservedIsGoldenIdentical proves the parallel engine's
 // deferred event replay reproduces the serial engine's event stream
 // exactly: an attached counters probe (which tallies every event kind

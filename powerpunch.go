@@ -38,6 +38,7 @@ import (
 	"powerpunch/internal/network"
 	"powerpunch/internal/obs"
 	"powerpunch/internal/parsec"
+	"powerpunch/internal/power"
 	"powerpunch/internal/topo"
 	"powerpunch/internal/traffic"
 )
@@ -88,10 +89,29 @@ type (
 	PGBreakdown = network.PGBreakdown
 	// PunchBreakdown aggregates punch-fabric activity.
 	PunchBreakdown = network.PunchBreakdown
+	// EnergyBreakdown is RunDetail's per-component energy decomposition
+	// (buffers, crossbar, allocators, clock, links, punch channels,
+	// wakeup handshake, power gates), derived from integer event
+	// counters and therefore bit-identical across the serial, full-walk,
+	// and parallel tick engines.
+	EnergyBreakdown = network.EnergyBreakdown
+	// ComponentEnergy is one component's dynamic/static/overhead energy.
+	ComponentEnergy = network.ComponentEnergy
 )
 
 // DetailVersion identifies the RunDetail JSON schema.
 const DetailVersion = network.DetailVersion
+
+// EnergyVersion identifies the EnergyBreakdown JSON schema.
+const EnergyVersion = network.EnergyVersion
+
+// DefaultPowerPreset is the power calibration used when
+// Config.PowerPreset is empty: the paper's HPCA 2015 numbers.
+const DefaultPowerPreset = power.DefaultPreset
+
+// PowerPresets lists the selectable power-model calibrations, sorted
+// (set Config.PowerPreset, or `-power-preset` on the CLIs).
+func PowerPresets() []string { return power.Presets() }
 
 // Observer consumes cycle-level events from an observed network (see
 // WithObserver and Network.Observe). The *ProbeEvent passed to Event
