@@ -77,6 +77,18 @@ apicheck: build
 		echo "apicheck: exported API drifted from API.txt (run 'make api' and commit if intended)"; \
 		exit 1; \
 	fi
+	@# Deprecation gate: the Scheme.Uses* predicates survive only for
+	@# external callers; internal packages must resolve the scheme.Policy
+	@# once (Scheme.Policy / Config capability fields) instead of
+	@# re-querying string-keyed predicates per call site.
+	@bad=$$(grep -rn '\.Uses\(EarlyWakeup\|IdleTimeoutFilter\|PowerGating\|Punch\|NISlack\)(' \
+		internal/ cmd/ *.go 2>/dev/null \
+		| grep -v '_test\.go' | grep -v '^internal/config/config\.go' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "apicheck: deprecated Scheme.Uses* predicate called outside internal/config/config.go:"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
 
 # Tier-2: everything above plus the benchmark regression gate.
 check: vet test race soak soak-obs soak-par soak-cmp soak-serve apicheck bench-check
@@ -96,7 +108,7 @@ check: vet test race soak soak-obs soak-par soak-cmp soak-serve apicheck bench-c
 # BenchmarkTickTopo*); sub-microsecond micros (NetworkStepIdle,
 # PunchFabricStep) are too jitter-prone for a threshold gate — run
 # those by hand with `go test -bench`.
-BENCHES    ?= ^BenchmarkTick$$|^BenchmarkTickEnergy$$|^BenchmarkTickFullWalk$$|^BenchmarkTickTopo$$|^BenchmarkTickTopoFullWalk$$|^BenchmarkTickPar$$|^BenchmarkTickCMP$$
+BENCHES    ?= ^BenchmarkTick$$|^BenchmarkTickEnergy$$|^BenchmarkTickFlyOver$$|^BenchmarkTickFullWalk$$|^BenchmarkTickTopo$$|^BenchmarkTickTopoFullWalk$$|^BenchmarkTickPar$$|^BenchmarkTickCMP$$
 BENCHTIME  ?= 0.5s
 BENCHCOUNT ?= 5
 # bench-diff defaults to a 10% gate; shared development machines show

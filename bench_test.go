@@ -394,6 +394,34 @@ func BenchmarkTickFullWalk(b *testing.B) {
 	}
 }
 
+// BenchmarkTickFlyOver locks the bypass scheme's per-cycle cost into
+// the baseline: FlyOver-PG at every locked load point on the 8x8 mesh
+// (active-set and full-walk — the bypass admission probes and the
+// ctrlSync catch-up only exist on these paths) plus the 4x4 torus,
+// whose dateline classes the landing-VC allocation must consult. The
+// committed rows pin allocs/op at exactly 0, same as every other
+// scheme's hot path.
+func BenchmarkTickFlyOver(b *testing.B) {
+	for _, load := range tickLoads {
+		load := load
+		b.Run(fmt.Sprintf("%s/load=%.2f", config.FlyOverPG, load), func(b *testing.B) {
+			tickBench(b, config.FlyOverPG, load, false)
+		})
+	}
+	for _, load := range tickLoads {
+		load := load
+		b.Run(fmt.Sprintf("fullwalk/%s/load=%.2f", config.FlyOverPG, load), func(b *testing.B) {
+			tickBench(b, config.FlyOverPG, load, true)
+		})
+	}
+	for _, load := range tickLoads {
+		load := load
+		b.Run(fmt.Sprintf("torus/%s/load=%.2f", config.FlyOverPG, load), func(b *testing.B) {
+			tickBenchOn(b, "torus", 4, 4, config.FlyOverPG, load, false)
+		})
+	}
+}
+
 // benchFabrics are the locked non-mesh fabric shapes of the baseline:
 // the same shapes the golden differential and checked-soak suites run,
 // so a benchmark row exists for every fabric the correctness battery

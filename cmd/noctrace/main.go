@@ -188,7 +188,7 @@ func record(args []string) {
 func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	in := fs.String("in", "trace.jsonl", "input trace file")
-	scheme := fs.String("scheme", "PowerPunch-PG", "No-PG|ConvOpt-PG|PowerPunch-Signal|PowerPunch-PG")
+	scheme := fs.String("scheme", "PowerPunch-PG", "power-gating scheme: "+strings.Join(powerpunch.SchemeNames(), "|"))
 	maxCycles := fs.Int64("max-cycles", 10_000_000, "safety bound")
 	topoName := fs.String("topo", "mesh", "fabric topology the trace was recorded on: mesh|torus|ring")
 	width := fs.Int("width", 8, "fabric width")

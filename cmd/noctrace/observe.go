@@ -45,7 +45,7 @@ type simFlags struct {
 
 func addSimFlags(fs *flag.FlagSet) *simFlags {
 	return &simFlags{
-		scheme:  fs.String("scheme", "PowerPunch-PG", "No-PG|ConvOpt-PG|PowerPunch-Signal|PowerPunch-PG"),
+		scheme:  fs.String("scheme", "PowerPunch-PG", "power-gating scheme: "+strings.Join(powerpunch.SchemeNames(), "|")),
 		pattern: fs.String("pattern", "uniform", "synthetic pattern (ignored with -bench)"),
 		rate:    fs.Float64("rate", 0.02, "offered load, flits/node/cycle (ignored with -bench)"),
 		cycles:  fs.Int64("cycles", 20_000, "measured cycles (with -bench: safety bound on the run)"),
@@ -79,13 +79,16 @@ func (sf *simFlags) rejectIgnored(fs *flag.FlagSet) {
 	}
 }
 
+// schemeByName resolves a scheme through the registry. Unknown names
+// are a usage error: the typed message lists the known schemes and the
+// process exits with status 2 (matching the preset-flag contract).
 func schemeByName(name string) (powerpunch.Scheme, error) {
-	for _, cand := range powerpunch.Schemes {
-		if cand.String() == name {
-			return cand, nil
-		}
+	s, err := powerpunch.SchemeByName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noctrace:", err)
+		os.Exit(2)
 	}
-	return 0, fmt.Errorf("unknown scheme %q", name)
+	return s, err
 }
 
 // build assembles the network (observers attached at construction) and

@@ -4,6 +4,7 @@
 //
 //	powerpunch -fig table1|table2|fig7|fig8|fig9|fig10|fig11|golden|fig12|fig13|scale|area|ablation|heatmap|all
 //	           [-full] [-seed N] [-bench name,name] [-hops N] [-csv dir]
+//	           [-scheme name,name]
 //
 // -fig accepts a comma-separated list; the full-system figures (fig7-11)
 // share one set of simulations per invocation.
@@ -41,7 +42,20 @@ func main() {
 	width := flag.Int("width", 0, "fabric width, used with -topo (default 8)")
 	height := flag.Int("height", 0, "fabric height, used with -topo (default 8; must be 1 for -topo ring)")
 	powerPreset := flag.String("power-preset", "", "power-model calibration: "+strings.Join(powerpunch.PowerPresets(), "|")+" (default: the paper's "+powerpunch.DefaultPowerPreset+"; the golden baselines are pinned to it)")
+	schemeList := flag.String("scheme", "", "comma-separated scheme subset for the scheme-parameterized experiments (fig12, heatmap): "+strings.Join(powerpunch.SchemeNames(), "|")+" (default: each experiment's paper set)")
 	flag.Parse()
+
+	var schemes []config.Scheme
+	if *schemeList != "" {
+		for _, name := range strings.Split(*schemeList, ",") {
+			s, err := config.SchemeByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "powerpunch: %v\n", err)
+				os.Exit(2)
+			}
+			schemes = append(schemes, s)
+		}
+	}
 
 	experiments.EnableChecks = *checks
 	experiments.Workers = *workers
@@ -102,7 +116,7 @@ func main() {
 
 	for _, id := range ids {
 		start := time.Now()
-		out, err := run(id, fid, *seed, benches, *hops, *csvDir)
+		out, err := run(id, fid, *seed, benches, *hops, *csvDir, schemes)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "powerpunch: %s: %v\n", id, err)
 			os.Exit(1)
@@ -150,7 +164,7 @@ func fullSystem(fid experiments.Fidelity, seed int64, benches []string) ([]exper
 	return res, err
 }
 
-func run(id string, fid experiments.Fidelity, seed int64, benches []string, hops int, csvDir string) (string, error) {
+func run(id string, fid experiments.Fidelity, seed int64, benches []string, hops int, csvDir string, schemes []config.Scheme) (string, error) {
 	switch id {
 	case "table1":
 		return experiments.FormatTable1(), nil
@@ -189,7 +203,7 @@ func run(id string, fid experiments.Fidelity, seed int64, benches []string, hops
 		}
 		return experiments.FormatGolden(g, res), nil
 	case "fig12":
-		pts, err := experiments.RunLoadSweep(experiments.LoadSweepOptions{Fidelity: fid, Seed: seed})
+		pts, err := experiments.RunLoadSweep(experiments.LoadSweepOptions{Fidelity: fid, Seed: seed, Schemes: schemes})
 		if err != nil {
 			return "", err
 		}
@@ -198,7 +212,7 @@ func run(id string, fid experiments.Fidelity, seed int64, benches []string, hops
 		}); err != nil {
 			return "", err
 		}
-		return experiments.FormatFig12(pts, nil), nil
+		return experiments.FormatFig12(pts, schemes), nil
 	case "fig13":
 		pts, err := experiments.RunSensitivity(experiments.SensitivityOptions{Fidelity: fid, Seed: seed, PunchHops: hops})
 		if err != nil {
@@ -212,7 +226,11 @@ func run(id string, fid experiments.Fidelity, seed int64, benches []string, hops
 		return experiments.FormatFig13(pts), nil
 	case "heatmap":
 		var out string
-		for _, s := range []config.Scheme{config.ConvOptPG, config.PowerPunchPG} {
+		hs := schemes
+		if len(hs) == 0 {
+			hs = []config.Scheme{config.ConvOptPG, config.PowerPunchPG}
+		}
+		for _, s := range hs {
 			h, err := experiments.RunHeatmap(s, fid, seed)
 			if err != nil {
 				return "", err

@@ -1,0 +1,54 @@
+package check_test
+
+import (
+	"testing"
+
+	"powerpunch/internal/config"
+	"powerpunch/internal/flit"
+)
+
+// TestBypassLegalityCatchesIllegalTurn injects the BypassIllegalTurn
+// fault — bypass admission skips the straight-through routing check,
+// so a head that must TURN at the flown-over router is granted onto
+// the bypass anyway — and expects the bypass-legality invariant to
+// catch the tagged flit mid-flight toward the gated router, with a
+// deterministic replay of the artifact. This proves the invariant is
+// not vacuously satisfied on clean FlyOver runs.
+func TestBypassLegalityCatchesIllegalTurn(t *testing.T) {
+	cfg := config.Default()
+	cfg.Scheme = config.FlyOverPG
+	cfg.Width, cfg.Height = 4, 4
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 1 << 40
+	cfg.CheckInterval = 1
+	cfg.Faults.BypassIllegalTurn = true
+	n, got := newChecked(t, cfg)
+
+	// Keep the landing router (node 2) awake with a local stream while
+	// its West neighbor (node 1) idles into Gated: node 0's packet to
+	// node 9 routes East toward node 1 but must turn South THERE, so a
+	// legal bypass admission would refuse it — the fault grants it.
+	for n.Now() < 300 && len(*got) == 0 {
+		if n.Now()%2 == 0 {
+			p := n.NewPacket(2, 3, flit.VNRequest, flit.KindControl)
+			n.NI(2).Submit(p, false, n.Now())
+		}
+		if n.Now() == 40 {
+			p := n.NewPacket(0, 9, flit.VNRequest, flit.KindControl)
+			n.NI(0).Submit(p, false, n.Now())
+		}
+		n.Step()
+	}
+
+	if len(*got) == 0 {
+		t.Fatal("BypassIllegalTurn fault was not caught")
+	}
+	a := (*got)[0]
+	if a.Invariant != "bypass-legality" {
+		t.Fatalf("fault caught by %q, want bypass-legality (%s)", a.Invariant, a.Detail)
+	}
+	if !a.Config.Faults.BypassIllegalTurn {
+		t.Fatal("artifact config lost the injected fault")
+	}
+	replayMatches(t, a)
+}

@@ -35,10 +35,15 @@ type View struct {
 
 // stallSlot tracks the deadlock watchdog's per-VC state: the identity of
 // the front flit last seen ready-and-routed and for how many consecutive
-// cycles.
+// cycles. Under a bypass scheme, ns counts the consecutive cycles the
+// front has been blocked by a Gated neighbor while NOT bypass-servable:
+// servability can lapse mid-stall (the landing router gates), and the
+// re-asserted wakeup level needs a cycle to propagate before the gated
+// neighbor reacts — the handshake invariant grants that window.
 type stallSlot struct {
 	f   *flit.Flit
 	cnt int64
+	ns  int64
 }
 
 // Engine runs the invariant suite at the end of every cycle. The cheap
@@ -65,6 +70,11 @@ type Engine struct {
 	// arbitration, relayed one link per cycle (LinkLatency 1), and the
 	// hop slack covers the wakeup latency (k*Trouter >= Twakeup).
 	punchGuard bool
+	// bypass mirrors the scheme policy's Bypass() answer: under a
+	// bypass scheme gated routers legitimately relay tagged flits, so
+	// the pg-empty and wake-handshake invariants take their
+	// bypass-aware forms.
+	bypass bool
 
 	// Per-router power-gating FSM tracking.
 	prevState  []pg.State
@@ -109,10 +119,19 @@ func New(v View) *Engine {
 	if e.expectWaking < 1 {
 		e.expectWaking = 1
 	}
-	e.punchGuard = v.Cfg.Scheme.UsesPunch() &&
-		!v.Cfg.PunchStrict &&
-		v.Cfg.LinkLatency == 1 &&
-		v.Cfg.PunchSlackCycles() >= v.Cfg.WakeupLatency
+	pol, perr := v.Cfg.Scheme.Policy()
+	if perr != nil {
+		// The network validated the config before building the view;
+		// an unknown scheme cannot reach here. Fall back to the most
+		// conservative invariant set.
+		e.punchGuard = false
+	} else {
+		e.punchGuard = pol.Punches() &&
+			!v.Cfg.PunchStrict &&
+			v.Cfg.LinkLatency == 1 &&
+			v.Cfg.PunchSlackCycles() >= v.Cfg.WakeupLatency
+		e.bypass = pol.Bypass()
+	}
 	for i := range e.stalls {
 		e.stalls[i] = make([]stallSlot, mesh.NumPorts*v.Routers[i].NumVCs())
 	}

@@ -13,10 +13,12 @@ import (
 	"powerpunch/internal/network"
 )
 
-// allSchemes includes PlainPG on top of the paper's four, so the
-// invariants are exercised against every gating policy in the tree.
+// allSchemes includes PlainPG and FlyOverPG on top of the paper's
+// four, so the invariants are exercised against every gating policy —
+// and the bypass datapath — in the tree.
 var allSchemes = []config.Scheme{
-	config.NoPG, config.ConvOptPG, config.PowerPunchSignal, config.PowerPunchPG, config.PlainPG,
+	config.NoPG, config.ConvOptPG, config.PowerPunchSignal, config.PowerPunchPG,
+	config.PlainPG, config.FlyOverPG,
 }
 
 func newChecked(t *testing.T, cfg config.Config) (*network.Network, *[]*check.Artifact) {

@@ -48,10 +48,15 @@ func (e *Engine) checkPG(now int64) {
 			if !legalTransition(prev, cur) {
 				e.fail(now, "pg-fsm-legality", "router %d transitioned %s -> %s", i, prev, cur)
 			}
-			if prev == pg.Waking && cur == pg.Active && e.wakingFor[i] != e.expectWaking {
-				e.fail(now, "pg-wake-duration",
-					"router %d completed wake after %d waking cycles, want %d (Twakeup=%d)",
-					i, e.wakingFor[i], e.expectWaking, e.view.Cfg.WakeupLatency)
+			if prev == pg.Waking && cur == pg.Active {
+				// Under a bypass scheme a live stream holds the wake
+				// countdown (BypassHold), so Waking may legitimately last
+				// longer than Twakeup — but never less.
+				if w := e.wakingFor[i]; w < e.expectWaking || (!e.bypass && w != e.expectWaking) {
+					e.fail(now, "pg-wake-duration",
+						"router %d completed wake after %d waking cycles, want %d (Twakeup=%d)",
+						i, w, e.expectWaking, e.view.Cfg.WakeupLatency)
+				}
 			}
 			e.record(now, "router %d: %s -> %s", i, prev, cur)
 		}
@@ -76,10 +81,47 @@ func (e *Engine) checkPG(now int64) {
 				if nb == mesh.Invalid {
 					continue
 				}
-				if op := e.view.Routers[nb].Out(d.Opposite()); !op.FlitOut.Empty() {
+				op := e.view.Routers[nb].Out(d.Opposite())
+				if op.FlitOut.Empty() {
+					continue
+				}
+				if !e.bypass {
 					e.fail(now, "pg-empty",
 						"router %d is %s with %d flits in flight from router %d", i, cur, op.FlitOut.Len(), nb)
+					continue
 				}
+				// Bypass scheme: tagged flits may legally fly toward a
+				// gated router — they detour over it, never into it. Each
+				// must be tagged AND structurally legal at this router: a
+				// straight-through continuation (the bypass path has no
+				// turn logic) landing in a class-legal VC.
+				travel := d.Opposite()
+				op.FlitOut.ForEach(func(ft router.FlitInTransit) {
+					if !ft.Bypass {
+						e.fail(now, "pg-empty",
+							"router %d is %s with an untagged flit of packet %d in flight from router %d",
+							i, cur, ft.Flit.Packet.ID, nb)
+						return
+					}
+					next, err := e.view.RF.Route(id, ft.Flit.Dst())
+					if err != nil || next != travel {
+						e.fail(now, "bypass-legality",
+							"router %d: bypass flit of packet %d (dst %d) flying %v over gated router %d would turn (route says %v)",
+							nb, ft.Flit.Packet.ID, ft.Flit.Dst(), travel, i, next)
+						return
+					}
+					if e.view.RF.VCClasses() > 1 {
+						cls := e.view.RF.ClassFor(id, ft.Flit.Dst(), travel)
+						rel := ft.VC % e.perVN
+						dlo, dhi := e.view.Cfg.DataVCClassRange(cls)
+						clo, chi := e.view.Cfg.CtrlVCClassRange(cls)
+						if !(rel >= dlo && rel < dhi) && !(rel >= clo && rel < chi) {
+							e.fail(now, "bypass-legality",
+								"router %d: bypass flit of packet %d (dst %d) over gated router %d lands in VC %d outside dateline class %d",
+								nb, ft.Flit.Packet.ID, ft.Flit.Dst(), i, ft.VC, cls)
+						}
+					}
+				})
 			}
 		}
 	}
@@ -129,13 +171,13 @@ func (e *Engine) checkBlockedHeads(now int64) {
 			slot := &slots[vv.Key]
 			ready := vv.Front != nil && vv.Routed && vv.FrontAge >= trouter
 			if !ready {
-				slot.f, slot.cnt = nil, 0
+				slot.f, slot.cnt, slot.ns = nil, 0, 0
 				return
 			}
 			if slot.f == vv.Front {
 				slot.cnt++
 			} else {
-				slot.f, slot.cnt = vv.Front, 1
+				slot.f, slot.cnt, slot.ns = vv.Front, 1, 0
 			}
 			if vv.OutDir == mesh.Local {
 				return // ejection never blocks (infinite NI credits)
@@ -146,6 +188,32 @@ func (e *Engine) checkBlockedHeads(now int64) {
 			}
 			switch st := e.view.Routers[nb].Ctrl.State(); st {
 			case pg.Gated:
+				if e.bypass {
+					if vv.Bypassing || e.bypassServable(nb, vv) {
+						// A gated downstream is not a handshake failure
+						// when the bypass path can serve this VC: the
+						// router deliberately suppressed the wakeup. The
+						// deadlock watchdog still applies — the stream
+						// must make progress (credit stalls at the
+						// landing router are bounded by its drain).
+						slot.ns = 0
+						if slot.cnt > e.stallLimit {
+							e.fail(now, "deadlock-watchdog",
+								"router %d %v vc%d: bypass-eligible flit of packet %d stalled %d cycles toward %v over gated router %d",
+								i, vv.Port, vv.Index, vv.Front.Packet.ID, slot.cnt, vv.OutDir, nb)
+						}
+						return
+					}
+					// Servability can lapse mid-stall (the landing
+					// router gated, closing the detour): the wakeup
+					// level re-asserts, but needs a cycle on the wire
+					// plus the controller's Gated step before the
+					// neighbor reacts. Grant exactly that window; a
+					// longer streak means the wakeup really was lost.
+					if slot.ns++; slot.ns <= 2 {
+						return
+					}
+				}
 				e.fail(now, "pg-wake-handshake",
 					"router %d %v vc%d: ready head of packet %d is blocked by router %d still gated (no wakeup honoured)",
 					i, vv.Port, vv.Index, vv.Front.Packet.ID, nb)
@@ -156,8 +224,9 @@ func (e *Engine) checkBlockedHeads(now int64) {
 						i, vv.Port, vv.Index, vv.Front.Packet.ID, vv.Front.Packet.Src,
 						e.view.M.HopDistance(vv.Front.Packet.Src, nb), nb, nb, hops)
 				}
-				slot.cnt = 0 // waking downstream is a legitimate stall
+				slot.cnt, slot.ns = 0, 0 // waking downstream is a legitimate stall
 			default:
+				slot.ns = 0
 				if slot.cnt > e.stallLimit {
 					e.fail(now, "deadlock-watchdog",
 						"router %d %v vc%d: head of packet %d stalled %d cycles toward %v with downstream router %d %s",
@@ -169,6 +238,23 @@ func (e *Engine) checkBlockedHeads(now int64) {
 			return
 		}
 	}
+}
+
+// bypassServable recomputes, independently of the router's cached
+// thruOK bit, whether the bypass path can serve the head at vv's front
+// over the gated neighbor nb: the route continues straight through nb
+// and the landing router is not itself power-gated — the same
+// condition under which the router suppresses its wakeup level.
+func (e *Engine) bypassServable(nb mesh.NodeID, vv router.VCView) bool {
+	if vv.Front == nil || !vv.Front.Type.IsHead() {
+		return false
+	}
+	c := e.view.M.Neighbor(nb, vv.OutDir)
+	if c == mesh.Invalid || e.view.Routers[c].Ctrl.PGAsserted() {
+		return false
+	}
+	next, err := e.view.RF.Route(nb, vv.Front.Dst())
+	return err == nil && next == vv.OutDir
 }
 
 // checkCredits verifies credit conservation on every link (and on the
@@ -194,21 +280,34 @@ func (e *Engine) checkCredits(now int64) {
 				depth := cfg.VCDepth(v % e.perVN)
 				wire := 0
 				op.FlitOut.ForEach(func(ft router.FlitInTransit) {
-					if ft.VC == v {
+					// A bypass-tagged flit rides this wire physically but
+					// belongs to the next link's ledger: its credit was
+					// claimed at the flown-over router's output.
+					if ft.VC == v && !ft.Bypass {
 						wire++
 					}
 				})
+				thru := 0
+				if e.bypass {
+					if up := e.view.M.Neighbor(id, d.Opposite()); up != mesh.Invalid {
+						e.view.Routers[up].Out(d).FlitOut.ForEach(func(ft router.FlitInTransit) {
+							if ft.Bypass && ft.VC == v {
+								thru++
+							}
+						})
+					}
+				}
 				back := 0
 				ip.CreditOut.ForEach(func(c router.Credit) {
 					if c.VC == v {
 						back++
 					}
 				})
-				got := op.Credits(v) + e.view.Routers[nb].VCOccupancy(d.Opposite(), v) + wire + back
+				got := op.Credits(v) + e.view.Routers[nb].VCOccupancy(d.Opposite(), v) + wire + thru + back
 				if got != depth {
 					e.fail(now, "credit-conservation",
-						"link %d->%d vc%d: credits %d + occupancy %d + wire %d + returning %d != depth %d",
-						i, nb, v, op.Credits(v), e.view.Routers[nb].VCOccupancy(d.Opposite(), v), wire, back, depth)
+						"link %d->%d vc%d: credits %d + occupancy %d + wire %d + thru %d + returning %d != depth %d",
+						i, nb, v, op.Credits(v), e.view.Routers[nb].VCOccupancy(d.Opposite(), v), wire, thru, back, depth)
 					return
 				}
 			}
@@ -336,11 +435,52 @@ func (e *Engine) checkVCLegality(now int64) {
 						return
 					}
 				}
-			} else if !vv.Routed || !vv.VADone {
+			} else if !vv.Routed || (!vv.VADone && !vv.Bypassing) {
 				e.fail(now, "vc-legality",
-					"router %d %v vc%d: body/tail flit at front without held route (routed=%v vaDone=%v)",
-					i, vv.Port, vv.Index, vv.Routed, vv.VADone)
+					"router %d %v vc%d: body/tail flit at front without held route (routed=%v vaDone=%v bypassing=%v)",
+					i, vv.Port, vv.Index, vv.Routed, vv.VADone, vv.Bypassing)
 				return
+			}
+			// A bypassing VC holds a landing VC two hops out instead of a
+			// normal VA allocation: it must stay inside the packet's
+			// virtual network, the flown-over router's owner table must
+			// carry the bypass sentinel for it, and on wrapped fabrics it
+			// must sit inside the dateline class computed AT the
+			// flown-over router (where the normal path would have
+			// reallocated).
+			if vv.Bypassing {
+				if vv.OutVC/e.perVN != vv.Index/e.perVN {
+					e.fail(now, "vc-legality",
+						"router %d %v vc%d: bypass landing VC %d crosses virtual networks",
+						i, vv.Port, vv.Index, vv.OutVC)
+					return
+				}
+				b := e.view.M.Neighbor(r.ID, vv.OutDir)
+				if b == mesh.Invalid {
+					e.fail(now, "vc-legality",
+						"router %d %v vc%d: bypassing toward %v with no neighbor",
+						i, vv.Port, vv.Index, vv.OutDir)
+					return
+				}
+				if own := e.view.Routers[b].Out(vv.OutDir).Owner(vv.OutVC); own != router.BypassOwner {
+					e.fail(now, "vc-legality",
+						"router %d %v vc%d: bypass landing VC %d of router %d %v owned by key %d, want bypass sentinel %d",
+						i, vv.Port, vv.Index, vv.OutVC, b, vv.OutDir, own, router.BypassOwner)
+					return
+				}
+				if e.view.RF.VCClasses() > 1 {
+					cls := e.view.RF.ClassFor(b, vv.Front.Dst(), vv.OutDir)
+					rel := vv.OutVC % e.perVN
+					dlo, dhi := e.view.Cfg.DataVCClassRange(cls)
+					clo, chi := e.view.Cfg.CtrlVCClassRange(cls)
+					if !(rel >= dlo && rel < dhi) && !(rel >= clo && rel < chi) {
+						e.fail(now, "dateline-legality",
+							"router %d %v vc%d: packet %d (dst %d) bypassing over %d allocated landing VC %d outside dateline class %d (data [%d,%d), ctrl [%d,%d))",
+							i, vv.Port, vv.Index, vv.Front.Packet.ID, vv.Front.Dst(), b,
+							rel, cls, dlo, dhi, clo, chi)
+						return
+					}
+				}
 			}
 			// dateline-legality: on wrapped fabrics (torus, ring) the
 			// allocated downstream VC must sit inside the packet's

@@ -32,7 +32,7 @@ func newSystem(t *testing.T, scheme config.Scheme, prof Profile) (*network.Netwo
 }
 
 func TestWorkloadCompletes(t *testing.T) {
-	for _, s := range config.Schemes {
+	for _, s := range config.AllSchemes {
 		s := s
 		t.Run(s.String(), func(t *testing.T) {
 			net, sys := newSystem(t, s, testProfile())

@@ -9,76 +9,130 @@ import (
 	"strings"
 
 	"powerpunch/internal/power"
+	"powerpunch/internal/scheme"
 	"powerpunch/internal/topo"
 )
 
-// Scheme selects the power-management policy under evaluation, matching
-// the four schemes of the paper's Section 5.
-type Scheme int
+// Scheme selects the power-management policy under evaluation by its
+// registered name (internal/scheme). The zero value (empty string) is
+// the No-PG baseline; Validate rejects unregistered names with
+// *UnknownSchemeError. Historically this was an int enum — the named
+// constants below keep every existing call site compiling.
+type Scheme string
 
-// The four evaluated schemes.
+// The built-in schemes: the paper's comparison set plus the ablation
+// and rival schemes.
 const (
 	// NoPG: baseline, routers always on.
-	NoPG Scheme = iota
+	NoPG Scheme = scheme.NoPG
 	// ConvOptPG: conventional power-gating optimized with an idle timeout
 	// and one-hop early wakeup (WU asserted when the output direction is
 	// computed at the upstream router).
-	ConvOptPG
+	ConvOptPG Scheme = scheme.ConvOptPG
 	// PowerPunchSignal: multi-hop punch signals only; no use of NI slack.
-	PowerPunchSignal
+	PowerPunchSignal Scheme = scheme.PowerPunchSignal
 	// PowerPunchPG: the comprehensive scheme with multi-hop and NI
 	// (injection-node) punch signals.
-	PowerPunchPG
+	PowerPunchPG Scheme = scheme.PowerPunchPG
 	// PlainPG: conventional power-gating exactly as in the paper's
 	// Section 2.2 — no idle-timeout filtering beyond the 2-cycle
 	// minimum and no early wakeup (WU asserted only when the packet
 	// reaches switch allocation). Not part of the paper's four-scheme
 	// comparison; used by the ablation to quantify what ConvOpt's
 	// optimizations buy.
-	PlainPG
+	PlainPG Scheme = scheme.PlainPG
+	// FlyOverPG: FlyOver-style bypass gating — straight-through flits
+	// detour around gated routers on a 1-cycle latch path instead of
+	// waking them; turning and ejecting traffic wakes routers like
+	// ConvOpt. Requires LinkLatency == 1.
+	FlyOverPG Scheme = scheme.FlyOverPG
 )
 
-// Schemes lists all schemes in the paper's presentation order.
+// Schemes lists the paper's four evaluated schemes in presentation
+// order (the golden suite, figures, and soaks iterate this). The full
+// registered set — including Plain-PG and FlyOver-PG — is
+// SchemeNames.
 var Schemes = []Scheme{NoPG, ConvOptPG, PowerPunchSignal, PowerPunchPG}
 
-// String returns the paper's name for the scheme.
-func (s Scheme) String() string {
-	switch s {
-	case NoPG:
-		return "No-PG"
-	case ConvOptPG:
-		return "ConvOpt-PG"
-	case PowerPunchSignal:
-		return "PowerPunch-Signal"
-	case PowerPunchPG:
-		return "PowerPunch-PG"
-	case PlainPG:
-		return "Plain-PG"
-	default:
-		return fmt.Sprintf("Scheme(%d)", int(s))
+// AllSchemes extends Schemes with the FlyOver-style bypass scheme —
+// the set the engine soaks, allocation gates, and the full-system
+// suite iterate (Plain-PG stays a diagnostics-only scheme).
+var AllSchemes = []Scheme{NoPG, ConvOptPG, PowerPunchSignal, PowerPunchPG, FlyOverPG}
+
+// SchemeNames returns every registered scheme name, sorted.
+func SchemeNames() []string { return scheme.Names() }
+
+// SchemeByName resolves a registered scheme name (the empty string is
+// the No-PG baseline). Unknown names fail with *UnknownSchemeError.
+func SchemeByName(name string) (Scheme, error) {
+	p, err := scheme.Lookup(name)
+	if err != nil {
+		return "", err
 	}
+	return Scheme(p.Name()), nil
+}
+
+// String returns the scheme's registered (presentation) name.
+func (s Scheme) String() string {
+	if s == "" {
+		return string(NoPG)
+	}
+	return string(s)
+}
+
+// Policy resolves s in the scheme registry. Unknown names fail with
+// *UnknownSchemeError (the same error Validate reports).
+func (s Scheme) Policy() (scheme.Policy, error) {
+	return scheme.Lookup(string(s))
+}
+
+// policy resolves s, treating unknown names as the inert baseline so
+// the deprecated predicates below stay total functions. Validate is
+// the place unknown names are reported.
+func (s Scheme) policy() scheme.Policy {
+	p, err := scheme.Lookup(string(s))
+	if err != nil {
+		p, _ = scheme.Lookup(scheme.NoPG)
+	}
+	return p
 }
 
 // UsesEarlyWakeup reports whether WU levels fire at route-computation
 // time (the ConvOpt optimization, also subsumed by the punch schemes);
 // PlainPG asserts WU only when the packet requests the switch.
-func (s Scheme) UsesEarlyWakeup() bool {
-	return s == ConvOptPG || s.UsesPunch()
-}
+//
+// Deprecated: resolve the policy once with Scheme.Policy and use
+// Policy.EarlyWakeup. The predicates survive only for external
+// callers; internal packages go through the policy (make apicheck
+// grep-gates it).
+func (s Scheme) UsesEarlyWakeup() bool { return s.policy().EarlyWakeup() }
 
 // UsesIdleTimeoutFilter reports whether the long (BET-oriented) idle
 // timeout applies; PlainPG uses only the 2-cycle in-flight minimum.
-func (s Scheme) UsesIdleTimeoutFilter() bool { return s == ConvOptPG }
+//
+// Deprecated: use Policy.IdleFilter via Scheme.Policy.
+func (s Scheme) UsesIdleTimeoutFilter() bool { return s.policy().IdleFilter() }
 
 // UsesPowerGating reports whether routers may be gated off under s.
-func (s Scheme) UsesPowerGating() bool { return s != NoPG }
+//
+// Deprecated: use Policy.Gates via Scheme.Policy.
+func (s Scheme) UsesPowerGating() bool { return s.policy().Gates() }
 
 // UsesPunch reports whether multi-hop punch signals are active under s.
-func (s Scheme) UsesPunch() bool { return s == PowerPunchSignal || s == PowerPunchPG }
+//
+// Deprecated: use Policy.Punches via Scheme.Policy.
+func (s Scheme) UsesPunch() bool { return s.policy().Punches() }
 
 // UsesNISlack reports whether injection-node slack (paper Section 4.2) is
 // exploited under s.
-func (s Scheme) UsesNISlack() bool { return s == PowerPunchPG }
+//
+// Deprecated: use Policy.NISlack via Scheme.Policy.
+func (s Scheme) UsesNISlack() bool { return s.policy().NISlack() }
+
+// UnknownSchemeError reports a Scheme name that is not in the scheme
+// registry (re-exported from internal/scheme so callers assert on it
+// at the config surface, like UnknownPowerPresetError).
+type UnknownSchemeError = scheme.UnknownSchemeError
 
 // Config collects all simulation parameters. The defaults reproduce the
 // paper's primary configuration (Table 2 and Section 5).
@@ -229,11 +283,18 @@ type Faults struct {
 	// invariant on the first packet that departs along a wrapped
 	// dimension. No-op on the mesh (one class).
 	InvertDatelineClass bool
+	// BypassIllegalTurn makes routers under a bypass scheme (FlyOver)
+	// skip the straight-through routing check at bypass admission, so a
+	// head that should turn or eject at the gated neighbor is flung over
+	// it anyway. Caught by the bypass-legality invariant on the first
+	// illegally tagged flit in flight. No-op for non-bypass schemes.
+	BypassIllegalTurn bool
 }
 
 // Any reports whether any fault is enabled.
 func (f Faults) Any() bool {
-	return f.IgnoreWakeups || f.DropPunchRelays || f.DropRearms || f.InvertDatelineClass
+	return f.IgnoreWakeups || f.DropPunchRelays || f.DropRearms ||
+		f.InvertDatelineClass || f.BypassIllegalTurn
 }
 
 // Default returns the paper's primary configuration: 8x8 mesh, XY routing,
@@ -360,7 +421,29 @@ func (e *UnknownPowerPresetError) Error() string {
 		e.Name, strings.Join(e.Known, ", "))
 }
 
-// Validate reports the first invalid parameter combination, or nil.
+// ValidationErrors aggregates every scheme-scoped validation failure
+// of one Validate call, so a caller fixing a config sees all of them
+// at once instead of peeling one per run. It unwraps to its members,
+// so errors.As still finds typed errors inside.
+type ValidationErrors []error
+
+func (e ValidationErrors) Error() string {
+	msgs := make([]string, len(e))
+	for i, err := range e {
+		msgs[i] = err.Error()
+	}
+	return fmt.Sprintf("config: %d invalid parameters: %s", len(e), strings.Join(msgs, "; "))
+}
+
+// Unwrap supports errors.Is/As over the aggregated members.
+func (e ValidationErrors) Unwrap() []error { return []error(e) }
+
+// Validate reports invalid parameter combinations, or nil. Structural
+// errors (topology shape, pipeline depths) report first-wins;
+// scheme-scoped violations are aggregated, so a single call reports
+// every gating/punch/NI parameter that is out of range for the
+// selected scheme (one bare error, or a ValidationErrors when several
+// fail together).
 func (c *Config) Validate() error {
 	kind, err := topo.ParseKind(c.Topology)
 	if err != nil {
@@ -368,6 +451,10 @@ func (c *Config) Validate() error {
 	}
 	if _, ok := power.PresetByName(c.PowerPreset); !ok {
 		return &UnknownPowerPresetError{Name: c.PowerPreset, Known: power.Presets()}
+	}
+	pol, err := c.Scheme.Policy()
+	if err != nil {
+		return err
 	}
 	switch kind {
 	case topo.KindRing:
@@ -398,15 +485,16 @@ func (c *Config) Validate() error {
 	case c.DataPacketSize > c.DataVCDepth*3+64:
 		return nil // arbitrary large packets are fine with wormhole
 	}
-	if c.Scheme.UsesPowerGating() {
+	var errs []error
+	if pol.Gates() {
 		if c.WakeupLatency < 1 {
-			return fmt.Errorf("config: WakeupLatency must be >= 1, got %d", c.WakeupLatency)
+			errs = append(errs, fmt.Errorf("config: WakeupLatency must be >= 1, got %d", c.WakeupLatency))
 		}
 		if c.IdleTimeout < 2 {
-			return fmt.Errorf("config: IdleTimeout must be >= 2 (in-flight flits must land), got %d", c.IdleTimeout)
+			errs = append(errs, fmt.Errorf("config: IdleTimeout must be >= 2 (in-flight flits must land), got %d", c.IdleTimeout))
 		}
 		if c.BreakEven < 0 {
-			return fmt.Errorf("config: BreakEven must be >= 0, got %d", c.BreakEven)
+			errs = append(errs, fmt.Errorf("config: BreakEven must be >= 0, got %d", c.BreakEven))
 		}
 	}
 	if kind != topo.KindMesh && c.DataVCs < 2 {
@@ -416,29 +504,44 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: %s topology needs DataVCs >= 2 for the dateline VC classes, got %d",
 			kind, c.DataVCs)
 	}
-	if c.Scheme.UsesPunch() {
+	if pol.Punches() {
 		if c.PunchHops < 1 || c.PunchHops > 4 {
-			return fmt.Errorf("config: PunchHops must be in [1,4], got %d", c.PunchHops)
-		}
-		t, err := topo.New(kind, c.Width, c.Height)
-		if err != nil {
-			return fmt.Errorf("config: %v", err)
-		}
-		if d := t.Diameter(); c.PunchHops > d {
-			return fmt.Errorf("config: PunchHops %d exceeds the %s diameter %d (no packet travels that far)",
-				c.PunchHops, t, d)
+			errs = append(errs, fmt.Errorf("config: PunchHops must be in [1,4], got %d", c.PunchHops))
+		} else {
+			t, err := topo.New(kind, c.Width, c.Height)
+			if err != nil {
+				return fmt.Errorf("config: %v", err)
+			}
+			if d := t.Diameter(); c.PunchHops > d {
+				errs = append(errs, fmt.Errorf("config: PunchHops %d exceeds the %s diameter %d (no packet travels that far)",
+					c.PunchHops, t, d))
+			}
 		}
 		if c.PunchIdleTimeout < 2 {
-			return fmt.Errorf("config: PunchIdleTimeout must be >= 2, got %d", c.PunchIdleTimeout)
+			errs = append(errs, fmt.Errorf("config: PunchIdleTimeout must be >= 2, got %d", c.PunchIdleTimeout))
 		}
 	}
-	if c.Scheme.UsesNISlack() {
+	if pol.NISlack() {
 		if c.NILatency < 0 || c.ResourceSlack < 0 {
-			return fmt.Errorf("config: NI slack parameters must be >= 0")
+			errs = append(errs, fmt.Errorf("config: NI slack parameters must be >= 0"))
 		}
 		if c.ResourceSlackValidFrac < 0 || c.ResourceSlackValidFrac > 1 {
-			return fmt.Errorf("config: ResourceSlackValidFrac must be in [0,1], got %g", c.ResourceSlackValidFrac)
+			errs = append(errs, fmt.Errorf("config: ResourceSlackValidFrac must be in [0,1], got %g", c.ResourceSlackValidFrac))
 		}
+	}
+	if pol.Bypass() && c.LinkLatency != 1 {
+		// The bypass admission check at the upstream router reads the
+		// gated router's latch-path state one cycle before delivery;
+		// longer links would let two senders over-commit the same latch.
+		errs = append(errs, fmt.Errorf("config: bypass scheme %s requires LinkLatency == 1, got %d",
+			c.Scheme, c.LinkLatency))
+	}
+	switch len(errs) {
+	case 0:
+	case 1:
+		return errs[0]
+	default:
+		return ValidationErrors(errs)
 	}
 	if c.NILatency < 1 {
 		return fmt.Errorf("config: NILatency must be >= 1, got %d", c.NILatency)

@@ -2,6 +2,7 @@ package config
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"powerpunch/internal/power"
@@ -165,7 +166,7 @@ func TestSchemeStrings(t *testing.T) {
 	}
 	for s, w := range want {
 		if s.String() != w {
-			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+			t.Errorf("%v.String() = %q, want %q", s, s.String(), w)
 		}
 	}
 }
@@ -224,5 +225,50 @@ func TestPowerPresetValidation(t *testing.T) {
 		if _, ok := power.PresetByName(k); !ok {
 			t.Errorf("Known lists %q, which the registry rejects", k)
 		}
+	}
+}
+
+// TestValidationErrorsAggregate pins the multi-error contract: when
+// several scheme-scoped parameters are invalid at once, Validate
+// returns one ValidationErrors whose message enumerates every failure
+// (count-prefixed, semicolon-joined) and which unwraps to its members
+// so callers can still errors.As for typed errors inside.
+func TestValidationErrorsAggregate(t *testing.T) {
+	cfg := Default()
+	cfg.Scheme = ConvOptPG
+	cfg.WakeupLatency = 0
+	cfg.IdleTimeout = 1
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("two invalid PG params validated")
+	}
+	var verrs ValidationErrors
+	if !errors.As(err, &verrs) {
+		t.Fatalf("error is %T, want ValidationErrors: %v", err, err)
+	}
+	if len(verrs) != 2 {
+		t.Fatalf("aggregated %d errors, want 2: %v", len(verrs), err)
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"config: 2 invalid parameters",
+		"WakeupLatency must be >= 1",
+		"IdleTimeout must be >= 2",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("aggregated message %q missing %q", msg, want)
+		}
+	}
+
+	// A single failure stays a bare error — no aggregation wrapper.
+	cfg = Default()
+	cfg.Scheme = ConvOptPG
+	cfg.WakeupLatency = 0
+	err = cfg.Validate()
+	if err == nil {
+		t.Fatal("invalid WakeupLatency validated")
+	}
+	if errors.As(err, &verrs) {
+		t.Errorf("single failure wrapped in ValidationErrors: %v", err)
 	}
 }

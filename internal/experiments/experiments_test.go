@@ -48,12 +48,17 @@ func TestFullSystemExperimentSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res) != 1 || len(res[0].PerScheme) != 4 {
+	if len(res) != 1 || len(res[0].PerScheme) != len(FullSystemSchemes) {
 		t.Fatalf("unexpected result shape: %+v", res)
 	}
 	m := res[0].PerScheme
-	if !m[config.NoPG].Drained || !m[config.PowerPunchPG].Drained {
+	if !m[config.NoPG].Drained || !m[config.PowerPunchPG].Drained || !m[config.FlyOverPG].Drained {
 		t.Error("runs did not drain")
+	}
+	// FlyOver gates aggressively (ConvOpt-style wake-on-demand plus
+	// bypass-suppressed wakeups), so its savings must be substantial.
+	if m[config.FlyOverPG].StaticSaved < 0.5 {
+		t.Errorf("FlyOver-PG static savings %.2f implausibly low", m[config.FlyOverPG].StaticSaved)
 	}
 	// The paper's headline ordering on any benchmark.
 	if m[config.ConvOptPG].AvgLatency <= m[config.NoPG].AvgLatency {

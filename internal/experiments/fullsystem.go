@@ -11,7 +11,16 @@ import (
 	"powerpunch/internal/parsec"
 )
 
-// BenchResult holds one benchmark's four-scheme comparison.
+// FullSystemSchemes is the scheme set the full-system suite runs: the
+// paper's four (config.Schemes, in presentation order) plus the
+// FlyOver-style bypass scheme. Each (benchmark, scheme) cell is an
+// independent same-seed simulation, so extending this list adds cells
+// without perturbing the existing ones.
+var FullSystemSchemes = []config.Scheme{
+	config.NoPG, config.ConvOptPG, config.PowerPunchSignal, config.PowerPunchPG, config.FlyOverPG,
+}
+
+// BenchResult holds one benchmark's per-scheme comparison.
 type BenchResult struct {
 	Bench     string
 	PerScheme map[config.Scheme]SchemeMetrics
@@ -55,13 +64,13 @@ func (o *FullSystemOptions) defaults() {
 // execute in parallel across GOMAXPROCS workers.
 func RunFullSystem(o FullSystemOptions) ([]BenchResult, error) {
 	o.defaults()
-	nb, ns := len(o.Benchmarks), len(config.Schemes)
+	nb, ns := len(o.Benchmarks), len(FullSystemSchemes)
 	metrics := make([]SchemeMetrics, nb*ns)
 	errs := make([]error, nb*ns)
 
 	parallelFor(nb*ns, func(i int) {
 		bench := o.Benchmarks[i/ns]
-		s := config.Schemes[i%ns]
+		s := FullSystemSchemes[i%ns]
 		prof, err := parsec.Profile(bench, o.InstrPerCore)
 		if err != nil {
 			errs[i] = err
@@ -108,7 +117,7 @@ func RunFullSystem(o FullSystemOptions) ([]BenchResult, error) {
 	out := make([]BenchResult, nb)
 	for bi, bench := range o.Benchmarks {
 		br := BenchResult{Bench: bench, PerScheme: map[config.Scheme]SchemeMetrics{}}
-		for si, s := range config.Schemes {
+		for si, s := range FullSystemSchemes {
 			br.PerScheme[s] = metrics[bi*ns+si]
 		}
 		out[bi] = br

@@ -14,7 +14,7 @@ import (
 // Step must not allocate at all — the whole cycle is a handful of
 // counter bumps.
 func TestStepAllocsIdleSteadyState(t *testing.T) {
-	for _, s := range config.Schemes {
+	for _, s := range config.AllSchemes {
 		s := s
 		t.Run(s.String(), func(t *testing.T) {
 			cfg := testConfig(s)
@@ -160,7 +160,7 @@ func TestStepAllocsEnergyAccounting(t *testing.T) {
 // packets themselves are created by the driver (outside the network's
 // own tick), exactly as in a real run.
 func TestStepAllocsLoadedSteadyState(t *testing.T) {
-	for _, s := range []config.Scheme{config.NoPG, config.PowerPunchPG} {
+	for _, s := range []config.Scheme{config.NoPG, config.PowerPunchPG, config.FlyOverPG} {
 		s := s
 		t.Run(s.String(), func(t *testing.T) {
 			cfg := testConfig(s)

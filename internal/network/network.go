@@ -20,6 +20,7 @@ import (
 	"powerpunch/internal/pg"
 	"powerpunch/internal/power"
 	"powerpunch/internal/router"
+	"powerpunch/internal/scheme"
 	"powerpunch/internal/stats"
 	"powerpunch/internal/topo"
 )
@@ -27,6 +28,10 @@ import (
 // Network is a complete simulated NoC.
 type Network struct {
 	Cfg config.Config
+	// pol is Cfg.Scheme's policy, resolved once at construction; every
+	// scheme-dependent branch in the tick loop consults it instead of
+	// the deprecated config predicates.
+	pol scheme.Policy
 	// M is the fabric and RF its routing function (XY on the mesh,
 	// dateline dimension-order routing on torus and ring).
 	M       topo.Topology
@@ -80,6 +85,11 @@ type Network struct {
 	// nbr caches each node's neighbour in every direction (Invalid where
 	// the fabric has no link), replacing per-cycle coordinate arithmetic.
 	nbr [][mesh.NumPorts]mesh.NodeID
+
+	// bypassOn caches pol.Bypass(): the scheme lets flits fly over gated
+	// routers on a latch path (FlyOver), enabling the bypass branches in
+	// delivery, quiescence, and the controller-input computation.
+	bypassOn bool
 }
 
 // New builds a network for cfg. The statistics collector measures packets
@@ -99,13 +109,20 @@ func New(cfg config.Config) (*Network, error) {
 	acct := power.NewAccountant(nNodes, powerConstants(cfg))
 	col := stats.New(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
 
+	pol, err := cfg.Scheme.Policy()
+	if err != nil {
+		// Unreachable after Validate, but keep the typed error path.
+		return nil, err
+	}
+
 	var fab *core.Fabric
-	if cfg.Scheme.UsesPunch() {
+	if pol.Punches() {
 		fab = core.NewFabricOn(rf, cfg.PunchHops, cfg.PunchStrict, acct)
 	}
 
 	n := &Network{
 		Cfg:     cfg,
+		pol:     pol,
 		M:       m,
 		RF:      rf,
 		Acct:    acct,
@@ -126,23 +143,60 @@ func New(cfg config.Config) (*Network, error) {
 
 	timeout := cfg.IdleTimeout
 	switch {
-	case cfg.Scheme.UsesPunch():
+	case pol.Punches():
 		// Punch signals forewarn arrivals precisely, so the blind timeout
 		// filter shrinks to the 2-cycle in-flight minimum (Section 4.3).
 		timeout = cfg.PunchIdleTimeout
-	case cfg.Scheme == config.PlainPG:
-		// The unoptimized baseline has no idle filter beyond the
-		// in-flight minimum.
+	case !pol.IdleFilter():
+		// Without the BET-oriented idle filter (Plain-PG), only the
+		// 2-cycle in-flight minimum remains.
 		timeout = 2
 	}
 	for id := mesh.NodeID(0); m.Contains(id); id++ {
-		ctrl := pg.New(cfg.Scheme.UsesPowerGating(), timeout, cfg.WakeupLatency, cfg.BreakEven)
+		ctrl := pg.New(pol.Gates(), timeout, cfg.WakeupLatency, cfg.BreakEven)
 		ctrl.SetAdaptiveThrottle(cfg.AdaptiveThrottle)
 		rid := int(id)
 		ctrl.SetHooks(nil, func() { acct.GatingEvent(rid) })
 		r := router.New(id, rf, &n.Cfg, ctrl, acct)
 		n.Routers = append(n.Routers, r)
 		n.NIs = append(n.NIs, ni.New(id, m, &n.Cfg, r, fab, col))
+	}
+
+	if pol.Bypass() {
+		// Wire the through-paths: per router and link direction, the
+		// flown-over neighbor's output port and controller plus the
+		// landing router two hops out. Directions whose through-path
+		// leaves the fabric (mesh edges) stay unwired and are simply
+		// never bypass-eligible; torus/ring wrap links wire naturally.
+		n.bypassOn = true
+		be, _ := pol.(scheme.BypassEnergy)
+		// Bypass admission and wakeup suppression read NEIGHBOR
+		// controller state, which under the active-set scheduler may be
+		// stale for a parked node. The sync hook replays the parked
+		// controller's skipped idle cycles first, so the read sees
+		// exactly the state the full walk would have computed. The
+		// full-tick and sharded engines step every controller every
+		// cycle, so the hook no-ops there.
+		sync := func(id mesh.NodeID) {
+			if n.par == nil && n.sched != nil {
+				n.sched.catchUp(int32(id), n.now-1)
+			}
+		}
+		for id, r := range n.Routers {
+			r.EnableBypass(be)
+			r.SetCtrlSync(sync)
+			for _, d := range mesh.LinkDirections {
+				b := n.nbr[id][d]
+				if b == mesh.Invalid {
+					continue
+				}
+				c := n.nbr[b][d]
+				if c == mesh.Invalid {
+					continue
+				}
+				r.SetBypassWiring(d, n.Routers[b].Out(d), n.Routers[b].Ctrl, c, n.Routers[c].Ctrl)
+			}
+		}
 	}
 
 	if !cfg.FullTick {
@@ -175,6 +229,11 @@ func New(cfg config.Config) (*Network, error) {
 	}
 	if cfg.Faults.DropRearms && n.sched != nil {
 		n.sched.dropRearms = true
+	}
+	if cfg.Faults.BypassIllegalTurn {
+		for _, r := range n.Routers {
+			r.SetFaultBypassIllegalTurn(true)
+		}
 	}
 
 	if cfg.Checks {
@@ -511,6 +570,10 @@ func (n *Network) deliverNode(rr *router.Router, now int64) {
 		from := d.Opposite()
 		n.flitBuf = op.FlitOut.DrainAppend(now, n.flitBuf[:0])
 		for _, ft := range n.flitBuf {
+			if ft.Bypass {
+				n.forwardBypass(rr, d, ft, now)
+				continue
+			}
 			dst.ReceiveFlit(from, ft.VC, ft.Flit, now)
 		}
 	}
@@ -541,17 +604,48 @@ func (n *Network) deliverNode(rr *router.Router, now int64) {
 	}
 }
 
+// forwardBypass relays a bypass-tagged flit across the flown-over
+// router: instead of entering the neighbor's buffers it is pushed
+// (untagged) onto that router's own output pipe in the same direction,
+// arriving at the landing router one cycle later — the 1-cycle latch
+// path. The push targets the next cycle, so drain order within the
+// delivery phase is immaterial. The sender's stream counter is
+// released when the tail clears this first link: the latch (and the
+// flown-over router's wake hold) is needed exactly until then.
+func (n *Network) forwardBypass(from *router.Router, d mesh.Direction, ft router.FlitInTransit, now int64) {
+	via := n.Routers[n.nbr[from.ID][d]]
+	via.Out(d).FlitOut.Push(router.FlitInTransit{Flit: ft.Flit, VC: ft.VC}, now)
+	if ft.Flit.Type.IsTail() {
+		from.BypassStreamRelease(d)
+	}
+}
+
+// bypassHeld reports whether any neighbor currently streams bypass
+// flits over router i. It feeds the controller's BypassHold input and
+// pins a flown-over router in the active set, so its held wake is
+// stepped live every cycle. Stream counters are written in the router
+// phase and read here (phase 7) and at end-of-cycle quiescence — never
+// concurrently with a writer under the sharded engine.
+func (n *Network) bypassHeld(i int) bool {
+	for _, d := range mesh.LinkDirections {
+		if nb := n.nbr[i][d]; nb != mesh.Invalid && n.Routers[nb].BypassStreams(d.Opposite()) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // stepControllers computes each controller's inputs from this cycle's
 // levels and advances the gating FSMs.
 func (n *Network) stepControllers(now int64) {
-	if !n.Cfg.Scheme.UsesPowerGating() {
+	if !n.pol.Gates() {
 		return
 	}
 	// WU levels: a router wants its neighbor awake while any resident
 	// routed packet heads there — from route-computation time under
 	// early wakeup (ConvOpt and the punch schemes), or only from
 	// switch-allocation time under the unoptimized PlainPG baseline.
-	early := n.Cfg.Scheme.UsesEarlyWakeup()
+	early := n.pol.EarlyWakeup()
 	for i, r := range n.Routers {
 		if early {
 			r.WantsOutput(&n.wants[i])
@@ -582,10 +676,11 @@ func (n *Network) stepControllers(now int64) {
 		if n.Fabric != nil {
 			hold = n.Fabric.Hold(r.ID)
 		}
+		bhold := n.bypassOn && n.bypassHeld(i)
 		if n.wakeups[i] && n.Acct.Enabled() {
 			n.Acct.WakeupSignal(i)
 		}
-		r.Ctrl.Step(pg.Inputs{Empty: empty, Wakeup: n.wakeups[i], PunchHold: hold})
+		r.Ctrl.Step(pg.Inputs{Empty: empty, Wakeup: n.wakeups[i], PunchHold: hold, BypassHold: bhold})
 	}
 }
 
@@ -598,11 +693,11 @@ func (n *Network) stepControllers(now int64) {
 // here, before the wakeup levels are read, so it wakes in the same cycle
 // the full walk would wake it.
 func (n *Network) stepControllersActive(now int64) {
-	if !n.Cfg.Scheme.UsesPowerGating() {
+	if !n.pol.Gates() {
 		return
 	}
 	s := n.sched
-	early := n.Cfg.Scheme.UsesEarlyWakeup()
+	early := n.pol.EarlyWakeup()
 	for i := s.next(0); i != -1; i = s.next(i + 1) {
 		r := n.Routers[i]
 		if early {
@@ -648,16 +743,24 @@ func (n *Network) stepControllersActive(now int64) {
 		if n.Fabric != nil {
 			hold = n.Fabric.Hold(r.ID)
 		}
+		bhold := n.bypassOn && n.bypassHeld(int(i))
 		if n.wakeups[i] && n.Acct.Enabled() {
 			n.Acct.WakeupSignal(int(i))
 		}
-		r.Ctrl.Step(pg.Inputs{Empty: empty, Wakeup: n.wakeups[i], PunchHold: hold})
+		r.Ctrl.Step(pg.Inputs{Empty: empty, Wakeup: n.wakeups[i], PunchHold: hold, BypassHold: bhold})
 	}
 }
 
 // incomingQuiet reports that no flit is in flight toward router r (its
 // neighbors' output pipes facing r are empty). Together with the >= 2
 // cycle idle timeout this guarantees gating never strands a flit.
+//
+// Under a bypass scheme a second, two-hop condition applies: a stream
+// established two hops out in direction d skips the intermediate
+// router's buffers entirely, so the one-hop pipe check cannot see its
+// flits coming — the landing router must stay up (and un-gated) for
+// the stream's whole lifetime, including cycles when the stream is
+// stalled upstream with nothing physically in flight.
 func (n *Network) incomingQuiet(r *router.Router) bool {
 	for _, d := range mesh.LinkDirections {
 		nb := n.nbr[r.ID][d]
@@ -666,6 +769,11 @@ func (n *Network) incomingQuiet(r *router.Router) bool {
 		}
 		if !n.Routers[nb].Out(d.Opposite()).FlitOut.Empty() {
 			return false
+		}
+		if n.bypassOn {
+			if a := n.nbr[nb][d]; a != mesh.Invalid && n.Routers[a].BypassStreams(d.Opposite()) > 0 {
+				return false
+			}
 		}
 	}
 	return true
@@ -755,20 +863,33 @@ func (n *Network) CheckInvariants() {
 			for v := 0; v < a.NumVCs(); v++ {
 				inFlightFlits := 0
 				op.FlitOut.ForEach(func(ft router.FlitInTransit) {
-					if ft.VC == v {
+					// Bypass-tagged flits in this pipe are charged
+					// against the *through* link's ledger (their VC
+					// names the router two hops out), not this one.
+					if ft.VC == v && !ft.Bypass {
 						inFlightFlits++
 					}
 				})
+				thruFlits := 0
+				if n.bypassOn {
+					if up := n.nbr[a.ID][from]; up != mesh.Invalid {
+						n.Routers[up].Out(d).FlitOut.ForEach(func(ft router.FlitInTransit) {
+							if ft.Bypass && ft.VC == v {
+								thruFlits++
+							}
+						})
+					}
+				}
 				inFlightCredits := 0
 				b.In(from).CreditOut.ForEach(func(c router.Credit) {
 					if c.VC == v {
 						inFlightCredits++
 					}
 				})
-				total := op.Credits(v) + b.VCOccupancy(from, v) + inFlightFlits + inFlightCredits
+				total := op.Credits(v) + b.VCOccupancy(from, v) + inFlightFlits + thruFlits + inFlightCredits
 				if depth := n.Cfg.VCDepth(v % perVN); total != depth {
-					panic(fmt.Sprintf("network: credit leak on %d->%d vc%d: credits=%d + buf=%d + wire=%d + credwire=%d != depth %d",
-						a.ID, nb, v, op.Credits(v), b.VCOccupancy(from, v), inFlightFlits, inFlightCredits, depth))
+					panic(fmt.Sprintf("network: credit leak on %d->%d vc%d: credits=%d + buf=%d + wire=%d + thru=%d + credwire=%d != depth %d",
+						a.ID, nb, v, op.Credits(v), b.VCOccupancy(from, v), inFlightFlits, thruFlits, inFlightCredits, depth))
 				}
 			}
 		}

@@ -140,6 +140,19 @@ type deferredDeliver struct {
 	at  int64
 }
 
+// bypassFwd is one deferred bypass relay (bypass schemes only): a
+// tagged flit drained from the first link that must be pushed onto the
+// flown-over router's own output pipe. The push cannot happen inside
+// the delivery section — the receiver's worker would write a pipe the
+// landing router's worker may be draining — so it is buffered here and
+// replayed by the coordinator after the section A barrier.
+type bypassFwd struct {
+	from mesh.NodeID    // sender whose stream counter releases at the tail
+	via  mesh.NodeID    // flown-over router carrying the second link
+	dir  mesh.Direction // travel direction
+	ft   router.FlitInTransit
+}
+
 // parWorker is one shard's execution context. Worker 0 is the
 // coordinator running inline; workers 1..nw-1 are goroutines.
 type parWorker struct {
@@ -161,6 +174,7 @@ type parWorker struct {
 	emitOps  []punchOp
 	arms     []mesh.NodeID
 	delivs   []deferredDeliver
+	bypFwd   []bypassFwd
 	flitRet  [][]*flit.Flit // indexed by target worker
 	marks    [4]int         // recorder cuts: A, B1, B2, C
 
@@ -466,6 +480,12 @@ func (w *parWorker) secDeliver(now int64) {
 			}
 			w.flitBuf = op.FlitOut.DrainAppend(now, w.flitBuf[:0])
 			for _, ft := range w.flitBuf {
+				if ft.Bypass {
+					w.bypFwd = append(w.bypFwd, bypassFwd{
+						from: nb, via: mesh.NodeID(i), dir: d.Opposite(), ft: ft,
+					})
+					continue
+				}
 				r.ReceiveFlit(d, ft.VC, ft.Flit, now)
 			}
 		}
@@ -553,7 +573,7 @@ func (w *parWorker) secPipeline(now int64) {
 // would apply inline.
 func (w *parWorker) secWants(now int64) {
 	n := w.eng.n
-	early := n.Cfg.Scheme.UsesEarlyWakeup()
+	early := n.pol.EarlyWakeup()
 	sched := n.sched
 	for i := w.first(); i != -1; i = w.after(i) {
 		r := n.Routers[i]
@@ -580,7 +600,7 @@ func (w *parWorker) secWants(now int64) {
 // fabric's hold state are frozen), and the static-power tick.
 func (w *parWorker) secCtrl(now int64) {
 	n := w.eng.n
-	if n.Cfg.Scheme.UsesPowerGating() {
+	if n.pol.Gates() {
 		for i := w.first(); i != -1; i = w.after(i) {
 			wu := n.NIs[i].WantsWakeup()
 			if !wu {
@@ -604,10 +624,11 @@ func (w *parWorker) secCtrl(now int64) {
 			if n.Fabric != nil {
 				hold = n.Fabric.Hold(r.ID)
 			}
+			bhold := n.bypassOn && n.bypassHeld(int(i))
 			if n.wakeups[i] && n.Acct.Enabled() {
 				n.Acct.WakeupSignal(int(i))
 			}
-			r.Ctrl.Step(pg.Inputs{Empty: empty, Wakeup: n.wakeups[i], PunchHold: hold})
+			r.Ctrl.Step(pg.Inputs{Empty: empty, Wakeup: n.wakeups[i], PunchHold: hold, BypassHold: bhold})
 		}
 	}
 	for i := w.first(); i != -1; i = w.after(i) {
@@ -635,6 +656,28 @@ func (e *parEngine) replayCut(cut int) {
 		for i := range events {
 			e.realBus.Emit(events[i])
 		}
+	}
+}
+
+// replayBypassForwards relays the deferred bypass-tagged flits across
+// their flown-over routers (see forwardBypass), worker-major on the
+// coordinator after the section A barrier. Pushes target the next
+// cycle and stream-counter releases are first read in phase 7, so the
+// replay point is behaviourally identical to the serial engines'
+// inline forward during phase 1.
+func (e *parEngine) replayBypassForwards(now int64) {
+	n := e.n
+	for _, w := range e.workers {
+		for j := range w.bypFwd {
+			bf := &w.bypFwd[j]
+			n.Routers[bf.via].Out(bf.dir).FlitOut.Push(
+				router.FlitInTransit{Flit: bf.ft.Flit, VC: bf.ft.VC}, now)
+			if bf.ft.Flit.Type.IsTail() {
+				n.Routers[bf.from].BypassStreamRelease(bf.dir)
+			}
+			*bf = bypassFwd{}
+		}
+		w.bypFwd = w.bypFwd[:0]
 	}
 }
 
@@ -758,6 +801,9 @@ func (e *parEngine) step() {
 	if e.hasDeliver {
 		e.runSection(secDeliver, now)
 		e.inSection = false
+		if n.bypassOn {
+			e.replayBypassForwards(now)
+		}
 		e.replayCut(0)
 		e.replayDelivers()
 		if s != nil {
@@ -769,6 +815,9 @@ func (e *parEngine) step() {
 	} else {
 		e.runSection(secDeliverSignals, now)
 		e.inSection = false
+		if n.bypassOn {
+			e.replayBypassForwards(now)
+		}
 		e.replayCut(0)
 		if s != nil {
 			s.flush(now)
@@ -802,7 +851,7 @@ func (e *parEngine) step() {
 
 	// Phase 7: want levels, then (after the wanted neighbours joined)
 	// wakeups and controller steps; phase 8 static ticks ride along.
-	if n.Cfg.Scheme.UsesPowerGating() {
+	if n.pol.Gates() {
 		e.inSection = true
 		e.runSection(secWants, now)
 		e.inSection = false

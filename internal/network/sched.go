@@ -220,6 +220,12 @@ func (s *scheduler) quiescent(i int32) bool {
 	if n.Fabric != nil && n.Fabric.Hold(mesh.NodeID(i)) {
 		return false
 	}
+	if n.bypassOn && n.bypassHeld(int(i)) {
+		// A neighbor streams bypass flits over this router: its held
+		// wake (BypassHold) is not the idle input catch-up replays, so
+		// it must be stepped live until the stream's tail clears.
+		return false
+	}
 	for _, d := range mesh.LinkDirections {
 		if nb := n.nbr[i][d]; nb != mesh.Invalid && n.wants[nb][d.Opposite()] {
 			return false

@@ -63,7 +63,7 @@ func TestSoakParallel(t *testing.T) {
 		{"ring", 8, 1},
 	}
 	for _, fab := range fabrics {
-		for _, s := range config.Schemes {
+		for _, s := range config.AllSchemes {
 			fab, s := fab, s
 			t.Run(fab.topo+"/"+s.String(), func(t *testing.T) {
 				t.Parallel()
@@ -172,7 +172,7 @@ func TestSoakParallelEnergy(t *testing.T) {
 		{"torus", 4, 4},
 	}
 	for _, fab := range fabrics {
-		for _, s := range config.Schemes {
+		for _, s := range config.AllSchemes {
 			fab, s := fab, s
 			t.Run(fab.topo+"/"+s.String(), func(t *testing.T) {
 				t.Parallel()
@@ -260,7 +260,7 @@ func TestSoakWithChecks(t *testing.T) {
 		{"ring", 8, 1},
 	}
 	for _, fab := range fabrics {
-		for _, s := range config.Schemes {
+		for _, s := range config.AllSchemes {
 			fab, s := fab, s
 			t.Run(fab.topo+"/"+s.String(), func(t *testing.T) {
 				t.Parallel()

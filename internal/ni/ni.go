@@ -113,6 +113,10 @@ type NI struct {
 	// bus, when non-nil, receives inject/eject/NI-block events.
 	bus *obs.Bus
 
+	// niSlack caches the policy's NISlack predicate, resolved once at
+	// construction (Section 4.2 injection-node signalling).
+	niSlack bool
+
 	asm [][]*flit.Flit // ejection reassembly per local-output VC
 
 	// Stats.
@@ -129,12 +133,14 @@ type NI struct {
 // (non-punch schemes); col must be non-nil.
 func New(id mesh.NodeID, m topo.Topology, cfg *config.Config, r *router.Router, fab *core.Fabric, col *stats.Collector) *NI {
 	numVCs := r.NumVCs()
+	pol, _ := cfg.Scheme.Policy() // Validate vetted the name already
 	n := &NI{
 		Node:    id,
 		cfg:     cfg,
 		m:       m,
 		r:       r,
 		col:     col,
+		niSlack: pol != nil && pol.NISlack(),
 		credits: make([]int, numVCs),
 		vcBusy:  make([]bool, numVCs),
 		asm:     make([][]*flit.Flit, numVCs),
@@ -226,7 +232,7 @@ func (n *NI) SetDeliverDefer(fn func(p *flit.Packet, now int64)) { n.deliverDefe
 // access in flight guarantees a packet will be injected here. Only
 // meaningful under PowerPunch-PG; no-op otherwise.
 func (n *NI) Announce() {
-	if n.fab != nil && n.cfg.Scheme.UsesNISlack() {
+	if n.fab != nil && n.niSlack {
 		n.fab.HoldLocal(n.Node)
 	}
 }
@@ -269,7 +275,7 @@ func (n *NI) StepSignals(now int64) {
 		}
 	}
 
-	if !n.cfg.Scheme.UsesNISlack() {
+	if !n.niSlack {
 		return
 	}
 	// Slack 1: the destination is known from NI entry, so the punch can

@@ -93,6 +93,11 @@ const (
 	// 0 clean L2 hit (data response), 1 invalidation round (B = sharer
 	// count), 2 L2 miss forwarded to a memory controller (Dst = MC).
 	KindWorkloadDir
+	// KindBypass: router Node granted a flit onto the bypass path
+	// around its gated neighbor Src (FlyOver-style schemes): the flit
+	// flies over Src and lands directly at router Dst's input. Dir =
+	// the travel direction, VC = the landing router's input VC.
+	KindBypass
 	numKinds
 )
 
@@ -104,6 +109,7 @@ var kindNames = [NumKinds]string{
 	"pg_stall", "pg_gate", "pg_wake", "pg_active",
 	"punch_emit", "punch_local", "punch_merge", "punch_arrive", "punch_hold",
 	"wl_miss", "wl_fill", "wl_dir",
+	"bypass",
 }
 
 // String returns the stable snake_case name used in JSONL traces.

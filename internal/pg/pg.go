@@ -59,6 +59,13 @@ type Inputs struct {
 	// transits it this cycle (Power Punch schemes only): the router must
 	// wake if gated and must not gate off.
 	PunchHold bool
+	// BypassHold is asserted while a neighbor is streaming flits over
+	// this gated router on the bypass path (FlyOver-style schemes).
+	// A waking router pauses its countdown until the stream drains:
+	// the bypass latch and the router pipeline must never be live in
+	// the same cycle. It does not wake a gated router — bypass traffic
+	// is exactly the traffic that does not need this router on.
+	BypassHold bool
 }
 
 // Stats counts controller activity for energy accounting and analysis.
@@ -255,6 +262,9 @@ func (c *Controller) Step(in Inputs) {
 		}
 	case Waking:
 		c.stats.WakingCycles++
+		if in.BypassHold {
+			return // wake paused until the bypass stream drains
+		}
 		c.wakeCnt--
 		if c.wakeCnt <= 0 {
 			c.state = Active

@@ -18,6 +18,7 @@ import (
 	"powerpunch/internal/obs"
 	"powerpunch/internal/pg"
 	"powerpunch/internal/power"
+	"powerpunch/internal/scheme"
 	"powerpunch/internal/topo"
 )
 
@@ -28,10 +29,16 @@ type Credit struct {
 }
 
 // FlitInTransit pairs a flit with the downstream virtual channel it was
-// allocated to.
+// allocated to. Bypass marks a flit flying over a gated router on the
+// bypass latch path (FlyOver-style schemes): it is set only on the
+// first link of the two-link hop, and VC then names an input VC of the
+// router two hops out — the network forwards the flit across the gated
+// router's output pipe (untagged) instead of delivering it into its
+// buffers.
 type FlitInTransit struct {
-	Flit *flit.Flit
-	VC   int
+	Flit   *flit.Flit
+	VC     int
+	Bypass bool
 }
 
 // vc is one input virtual channel: a FIFO of flits plus the routing state
@@ -49,6 +56,14 @@ type vc struct {
 	outDir      mesh.Direction
 	outVC       int
 	blockedOnce bool // current head already counted as PG-blocked
+
+	// Bypass (FlyOver-style) state: thruOK is computed at route time
+	// and reports that the packet would continue straight through the
+	// downstream router, making it eligible to fly over it if gated;
+	// bypassing marks an established bypass stream, with outVC naming
+	// an input VC of the router two hops out.
+	thruOK    bool
+	bypassing bool
 }
 
 func (v *vc) empty() bool         { return len(v.buf) == 0 }
@@ -150,9 +165,44 @@ type Router struct {
 	// path free of observability work beyond one branch per site.
 	bus *obs.Bus
 
+	// Bypass (FlyOver-style) wiring, installed by the network when the
+	// scheme policy enables bypass. Per link direction d: thruOut is
+	// the flown-over neighbor's output port in the same direction (the
+	// landing router's input VC space), nbrCtrl the flown-over
+	// neighbor's controller, thruCtrl/thruNbr the landing router two
+	// hops out. All nil/Invalid where the through-path leaves the
+	// fabric (mesh edges).
+	//
+	// Concurrency note: tryBypassGrant writes thruOut's owner/credit
+	// arrays from this router's pipeline phase. That is safe because a
+	// stream is admitted only while the flown-over neighbor is Gated
+	// and pg.Inputs.BypassHold keeps it from completing a wake until
+	// the stream's tail clears the first link — its own pipeline never
+	// runs concurrently. Each (neighbor, direction) pair has exactly
+	// one upstream router, so two senders never share a thruOut port.
+	bypassOn      bool
+	bypassEnergy  scheme.BypassEnergy
+	thruOut       [mesh.NumPorts]*OutputPort
+	nbrCtrl       [mesh.NumPorts]*pg.Controller
+	thruCtrl      [mesh.NumPorts]*pg.Controller
+	thruNbr       [mesh.NumPorts]mesh.NodeID
+	bypassStreams [mesh.NumPorts]int
+
+	// faultBypassIllegalTurn is a deliberate defect: bypass admission
+	// skips the straight-through routing check (see config.Faults).
+	faultBypassIllegalTurn bool
+
+	// ctrlSync, when set, is invoked with a neighbor's ID immediately
+	// before this router reads that neighbor's PG controller state for
+	// bypass decisions. The active-set engine installs it to replay a
+	// parked controller's skipped idle cycles first; engines that step
+	// every controller every cycle leave the call a no-op.
+	ctrlSync func(mesh.NodeID)
+
 	// Stats.
 	FlitsForwarded int64
 	PGStallCycles  int64
+	FlitsBypassed  int64
 }
 
 // New constructs a router. Pipes for output flits and input credits are
@@ -172,6 +222,9 @@ func New(id mesh.NodeID, rf topo.RoutingFunction, cfg *config.Config, ctrl *pg.C
 		trouter: int64(cfg.RouterCycles()),
 	}
 	r.occ = make([]uint64, (mesh.NumPorts*numVCs+63)/64)
+	for p := range r.thruNbr {
+		r.thruNbr[p] = mesh.Invalid
+	}
 	for p := 0; p < mesh.NumPorts; p++ {
 		dir := mesh.Direction(p)
 		ip := &InputPort{
@@ -315,12 +368,20 @@ func (r *Router) stepST(now int64) {
 	for p := 0; p < mesh.NumPorts; p++ {
 		op := r.out[p]
 		if op.Blocked {
-			// Downstream router is gated or waking: every pipeline-ready
-			// packet headed there is stalled by power gating.
+			// Downstream router is gated or waking. Under a bypass
+			// scheme, eligible traffic flies over it first; everything
+			// else accrues the paper's per-packet blocking statistics
+			// (Figures 9 and 10).
+			if r.bypassOn {
+				r.stepBypass(p, now)
+			}
 			for key := r.nextOcc(0); key != -1; key = r.nextOcc(key + 1) {
 				v := r.in[key/r.numVCs].vcs[key%r.numVCs]
 				if !v.routed || int(v.outDir) != p {
 					continue
+				}
+				if r.bypassOn && r.wantSuppressed(v) {
+					continue // served by the bypass path, not PG-blocked
 				}
 				if now-v.frontArrival() < r.trouter {
 					continue
@@ -411,13 +472,20 @@ func (r *Router) stepSTRef(now int64) {
 	for p := 0; p < mesh.NumPorts; p++ {
 		op := r.out[p]
 		if op.Blocked {
-			// Downstream router is gated or waking: every pipeline-ready
-			// packet headed there is stalled by power gating.
+			// Downstream router is gated or waking. Under a bypass
+			// scheme, eligible traffic flies over it first; everything
+			// else accrues the paper's per-packet blocking statistics.
+			if r.bypassOn {
+				r.stepBypassRef(p, now)
+			}
 			for ip := 0; ip < mesh.NumPorts; ip++ {
 				for vi := 0; vi < r.numVCs; vi++ {
 					v := r.in[ip].vcs[vi]
 					if v.empty() || !v.routed || int(v.outDir) != p {
 						continue
+					}
+					if r.bypassOn && r.wantSuppressed(v) {
+						continue // served by the bypass path, not PG-blocked
 					}
 					if now-v.frontArrival() < r.trouter {
 						continue
@@ -488,6 +556,243 @@ func (r *Router) stepSTRef(now int64) {
 	}
 }
 
+// BypassOwner is the sentinel claiming a landing VC for a bypass
+// stream in the flown-over neighbor's owner array: the owner is an
+// input VC of another router, so no local arbitration key applies.
+// Exported so the invariant engine can assert the claim's shape.
+const BypassOwner = -2
+
+// thruEligible reports whether a head routed toward direction d would
+// continue straight through the downstream router — the structural
+// condition for flying over it if it gates. Computed once at route
+// time and cached in vc.thruOK.
+func (r *Router) thruEligible(d mesh.Direction, f *flit.Flit) bool {
+	if d == mesh.Local || r.thruOut[d] == nil {
+		return false
+	}
+	if r.faultBypassIllegalTurn {
+		return true // deliberate defect: fling turning/ejecting heads too
+	}
+	next, err := r.rf.Route(r.out[d].neighbor, f.Dst())
+	return err == nil && next == d
+}
+
+// wantSuppressed reports whether an occupied, routed VC withholds its
+// WU want toward its output: an established bypass stream, or a
+// thru-eligible head whose landing router is on. In both cases the
+// detour (or the normal path, if the neighbor is still on) makes
+// progress without waking the neighbor — waking it would defeat the
+// bypass. A body flit following the normal path, or a head whose
+// landing router is itself gated, wants the neighbor awake as usual.
+func (r *Router) wantSuppressed(v *vc) bool {
+	if v.bypassing {
+		return true
+	}
+	if !v.thruOK || v.empty() || !v.front().Type.IsHead() || r.thruCtrl[v.outDir] == nil {
+		return false
+	}
+	if r.ctrlSync != nil {
+		r.ctrlSync(r.thruNbr[v.outDir])
+	}
+	return !r.thruCtrl[v.outDir].PGAsserted()
+}
+
+// stepBypass arbitrates the bypass path for output port p while the
+// downstream neighbor asserts PG: at most one flit per cycle flies
+// over the gated neighbor onto the landing router two hops out,
+// chosen by the same round-robin order as normal switch allocation.
+func (r *Router) stepBypass(p int, now int64) {
+	if r.thruOut[p] == nil {
+		return
+	}
+	total := mesh.NumPorts * r.numVCs
+	start := r.swRR[p]
+	for pass := 0; pass < 2; pass++ {
+		lo, hi := start, total
+		if pass == 1 {
+			lo, hi = 0, start
+		}
+		for key := r.nextOcc(lo); key != -1 && key < hi; key = r.nextOcc(key + 1) {
+			if r.tryBypassGrant(key, p, now) {
+				return
+			}
+		}
+	}
+}
+
+// stepBypassRef is the reference (Config.FullTick) bypass arbitration:
+// the full modular probe over every (input port, VC) slot, matching
+// stepBypass's circular order with the empty slots kept.
+func (r *Router) stepBypassRef(p int, now int64) {
+	if r.thruOut[p] == nil {
+		return
+	}
+	total := mesh.NumPorts * r.numVCs
+	for k := 0; k < total; k++ {
+		key := (r.swRR[p] + k) % total
+		if r.in[key/r.numVCs].vcs[key%r.numVCs].empty() {
+			continue
+		}
+		if r.tryBypassGrant(key, p, now) {
+			return
+		}
+	}
+}
+
+// tryBypassGrant attempts to send the front flit of VC key over the
+// gated neighbor in direction p. New streams are admitted only for a
+// pipeline-ready thru-eligible head while the neighbor is fully Gated
+// (never mid-wake: pg.Inputs.BypassHold then pins it down until the
+// tail clears the first link) and the landing router is on; an
+// established stream continues on landing-VC credit alone, so a
+// wake-in-progress at the flown-over router never strands a wormhole
+// mid-stream.
+func (r *Router) tryBypassGrant(key, p int, now int64) bool {
+	v := r.in[key/r.numVCs].vcs[key%r.numVCs]
+	if !v.routed || int(v.outDir) != p {
+		return false
+	}
+	if now-v.frontArrival() < r.trouter {
+		return false // pipeline depth not yet traversed
+	}
+	to := r.thruOut[p]
+	if v.bypassing {
+		if to.credits[v.outVC] <= 0 {
+			return false // no buffer space at the landing router
+		}
+	} else {
+		f := v.front()
+		if !v.thruOK || !f.Type.IsHead() {
+			return false
+		}
+		if r.ctrlSync != nil {
+			r.ctrlSync(r.out[p].neighbor)
+			r.ctrlSync(r.thruNbr[p])
+		}
+		if r.nbrCtrl[p] == nil || r.nbrCtrl[p].State() != pg.Gated {
+			return false
+		}
+		if r.thruCtrl[p] == nil || r.thruCtrl[p].PGAsserted() {
+			return false
+		}
+		ov, ok := r.allocBypassVC(p, f)
+		if !ok {
+			return false
+		}
+		// The normal path may have allocated a VC in the neighbor
+		// before it gated; the stream will not use it.
+		if v.vaDone {
+			r.out[p].owner[v.outVC] = -1
+			v.vaDone = false
+		}
+		v.outVC = ov
+		v.bypassing = true
+		r.bypassStreams[p]++
+	}
+
+	// Grant: the flit traverses this router's switch, the first link,
+	// the neighbor's bypass latch, and the second link, landing in the
+	// input buffer of the router two hops out one cycle after it would
+	// have reached the neighbor.
+	r.swRR[p] = (key + 1) % (mesh.NumPorts * r.numVCs)
+	out := v.pop()
+	if v.empty() {
+		r.clearOcc(key)
+	}
+	r.buffered--
+	to.credits[v.outVC]--
+	r.out[p].FlitOut.Push(FlitInTransit{Flit: out, VC: v.outVC, Bypass: true}, now)
+	r.FlitsForwarded++
+	r.FlitsBypassed++
+	if r.acct != nil {
+		r.acct.Traverse(int(r.ID))
+		r.acct.LinkHop(int(r.ID))
+		if r.bypassEnergy != nil {
+			r.bypassEnergy.AttributeBypass(r.acct, int(r.ID))
+		}
+	}
+	if r.forwardHook != nil {
+		r.forwardHook(r.out[p].neighbor)
+		r.forwardHook(r.thruNbr[p])
+	}
+	if r.bus != nil {
+		r.emitGrant(r.out[p], out, v.outVC)
+		r.bus.Emit(obs.Event{
+			Kind: obs.KindBypass,
+			Node: int32(r.ID),
+			Dir:  int8(p),
+			VC:   int16(v.outVC),
+			Pkt:  out.Packet.ID,
+			Src:  int32(r.out[p].neighbor),
+			Dst:  int32(r.thruNbr[p]),
+		})
+	}
+	// Return the freed slot upstream.
+	r.in[key/r.numVCs].CreditOut.Push(Credit{VC: key % r.numVCs}, now)
+
+	if out.Type.IsTail() {
+		// Release the landing VC and per-packet state. The stream
+		// counter is released by the network when the tail clears the
+		// first link — the bypass latch is live until then.
+		to.owner[v.outVC] = -1
+		v.routed = false
+		v.vaDone = false
+		v.bypassing = false
+		v.thruOK = false
+		v.blockedOnce = false
+	}
+	return true
+}
+
+// allocBypassVC claims a landing VC for a new bypass stream: a free
+// VC with credit in the flown-over neighbor's output port p,
+// restricted to the dateline class the neighbor's own allocator would
+// have chosen — the contracted channel-dependency path is a subpath
+// of the normal one, so wrap-link deadlock freedom is preserved.
+// Credit is required at claim time because the claim and the first
+// grant are one atomic step.
+func (r *Router) allocBypassVC(p int, f *flit.Flit) (int, bool) {
+	to := r.thruOut[p]
+	perVN := r.cfg.VCsPerVN()
+	base := int(f.Packet.VN) * perVN
+
+	tryRange := func(lo, hi int) (int, bool) {
+		for v := lo; v < hi; v++ {
+			if to.owner[v] == -1 && to.credits[v] > 0 {
+				to.owner[v] = BypassOwner
+				return v, true
+			}
+		}
+		return -1, false
+	}
+
+	if r.classes > 1 {
+		cls := r.rf.ClassFor(r.out[p].neighbor, f.Dst(), mesh.Direction(p))
+		if r.cfg.Faults.InvertDatelineClass {
+			cls = 1 - cls
+		}
+		dlo, dhi := r.cfg.DataVCClassRange(cls)
+		if f.Packet.Kind == flit.KindData {
+			return tryRange(base+dlo, base+dhi)
+		}
+		// Control packet: the class's control VCs first, then its data VCs.
+		clo, chi := r.cfg.CtrlVCClassRange(cls)
+		if v, ok := tryRange(base+clo, base+chi); ok {
+			return v, true
+		}
+		return tryRange(base+dlo, base+dhi)
+	}
+
+	if f.Packet.Kind == flit.KindData {
+		return tryRange(base, base+r.cfg.DataVCs)
+	}
+	// Control packet: control VCs first, then data VCs.
+	if v, ok := tryRange(base+r.cfg.DataVCs, base+perVN); ok {
+		return v, true
+	}
+	return tryRange(base, base+r.cfg.DataVCs)
+}
+
 // stepVA computes routes for newly-arrived heads (look-ahead RC costs no
 // extra stage) and allocates downstream VCs. VA is eligible one cycle
 // after head arrival (stage 2); the speculative 3-stage router differs
@@ -509,6 +814,7 @@ func (r *Router) stepVA(now int64) {
 			v.outDir = topo.MustRoute(r.rf, r.ID, f.Dst())
 			v.routed = true
 			v.blockedOnce = false
+			v.thruOK = r.bypassOn && r.thruEligible(v.outDir, f)
 		}
 		if v.vaDone {
 			continue
@@ -546,6 +852,7 @@ func (r *Router) stepVARef(now int64) {
 				v.outDir = topo.MustRoute(r.rf, r.ID, f.Dst())
 				v.routed = true
 				v.blockedOnce = false
+				v.thruOK = r.bypassOn && r.thruEligible(v.outDir, f)
 			}
 			if v.vaDone {
 				continue
@@ -630,7 +937,7 @@ func (r *Router) WantsOutput(want *[mesh.NumPorts]bool) {
 		for p := 0; p < mesh.NumPorts; p++ {
 			for vi := 0; vi < r.numVCs; vi++ {
 				v := r.in[p].vcs[vi]
-				if !v.empty() && v.routed {
+				if !v.empty() && v.routed && !(r.bypassOn && r.wantSuppressed(v)) {
 					want[v.outDir] = true
 				}
 			}
@@ -639,7 +946,7 @@ func (r *Router) WantsOutput(want *[mesh.NumPorts]bool) {
 	}
 	for key := r.nextOcc(0); key != -1; key = r.nextOcc(key + 1) {
 		v := r.in[key/r.numVCs].vcs[key%r.numVCs]
-		if v.routed {
+		if v.routed && !(r.bypassOn && r.wantSuppressed(v)) {
 			want[v.outDir] = true
 		}
 	}
@@ -692,6 +999,11 @@ type VCView struct {
 	VADone    bool
 	OutDir    mesh.Direction
 	OutVC     int
+	// Bypass (FlyOver-style) state: see the vc fields of the same name.
+	// While Bypassing, OutVC names an input VC of the router two hops
+	// out, not of the direct neighbor.
+	ThruOK    bool
+	Bypassing bool
 }
 
 // ForEachVC invokes fn with a snapshot of every input VC of every port.
@@ -709,6 +1021,8 @@ func (r *Router) ForEachVC(now int64, fn func(VCView)) {
 				VADone:    v.vaDone,
 				OutDir:    v.outDir,
 				OutVC:     v.outVC,
+				ThruOK:    v.thruOK,
+				Bypassing: v.bypassing,
 			}
 			if len(v.buf) > 0 {
 				view.Front = v.buf[0]
@@ -740,6 +1054,46 @@ func (r *Router) ResidentHeads(fn func(p *flit.Packet)) {
 		}
 	}
 }
+
+// EnableBypass turns on FlyOver-style bypass admission at this router.
+// energy, when non-nil, is charged once per bypass grant at this
+// (sending) router; nil skips the detour's extra energy.
+func (r *Router) EnableBypass(energy scheme.BypassEnergy) {
+	r.bypassOn = true
+	r.bypassEnergy = energy
+}
+
+// SetCtrlSync installs the neighbor-controller catch-up hook consulted
+// before bypass reads of a parked neighbor's PG state.
+func (r *Router) SetCtrlSync(f func(mesh.NodeID)) { r.ctrlSync = f }
+
+// SetBypassWiring installs the through-path for link direction d: the
+// flown-over neighbor's output port (whose VC space belongs to the
+// landing router's input) and controller, plus the landing router two
+// hops out and its controller. Directions whose through-path leaves
+// the fabric are simply never wired.
+func (r *Router) SetBypassWiring(d mesh.Direction, nbOut *OutputPort, nbCtrl *pg.Controller, landing mesh.NodeID, landingCtrl *pg.Controller) {
+	r.thruOut[d] = nbOut
+	r.nbrCtrl[d] = nbCtrl
+	r.thruNbr[d] = landing
+	r.thruCtrl[d] = landingCtrl
+}
+
+// BypassStreams returns the number of bypass streams currently
+// established from this router over its neighbor in direction d. The
+// network derives the neighbor's BypassHold controller input and the
+// two-hop incoming-quiet extension from it.
+func (r *Router) BypassStreams(d mesh.Direction) int { return r.bypassStreams[d] }
+
+// BypassStreamRelease retires one bypass stream in direction d. The
+// network calls it when the stream's tail flit clears the first link
+// (is forwarded across the flown-over router): the bypass latch — and
+// therefore the neighbor's wake hold — is needed until then.
+func (r *Router) BypassStreamRelease(d mesh.Direction) { r.bypassStreams[d]-- }
+
+// SetFaultBypassIllegalTurn installs the bypass-admission defect; see
+// config.Faults.BypassIllegalTurn.
+func (r *Router) SetFaultBypassIllegalTurn(v bool) { r.faultBypassIllegalTurn = v }
 
 // SetForwardHook registers the active-set scheduler's receiver-arming
 // callback; see the forwardHook field.

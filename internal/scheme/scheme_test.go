@@ -1,0 +1,105 @@
+package scheme
+
+import (
+	"errors"
+	"sort"
+	"testing"
+)
+
+// TestLookupContract pins the registry's resolution rules: the empty
+// string is the No-PG baseline (the zero Config.Scheme), every
+// registered name round-trips, and unknown names fail with a typed
+// *UnknownSchemeError carrying the full sorted name list.
+func TestLookupContract(t *testing.T) {
+	p, err := Lookup("")
+	if err != nil || p.Name() != NoPG {
+		t.Fatalf("Lookup(\"\") = %v, %v; want the No-PG baseline", p, err)
+	}
+	for _, name := range Names() {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, p.Name())
+		}
+	}
+	_, err = Lookup("Bogus-PG")
+	var ue *UnknownSchemeError
+	if !errors.As(err, &ue) {
+		t.Fatalf("Lookup(Bogus-PG) error is %T, want *UnknownSchemeError", err)
+	}
+	if ue.Name != "Bogus-PG" || len(ue.Known) != len(Names()) {
+		t.Errorf("error payload %+v does not carry the known names", ue)
+	}
+}
+
+// TestNamesSorted pins that Names is sorted and contains exactly the
+// built-in set — the spelling golden files, CLI flags, and serve specs
+// depend on.
+func TestNamesSorted(t *testing.T) {
+	got := Names()
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("Names() not sorted: %v", got)
+	}
+	want := map[string]bool{
+		NoPG: true, ConvOptPG: true, PowerPunchSignal: true,
+		PowerPunchPG: true, PlainPG: true, FlyOverPG: true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want the %d built-ins", got, len(want))
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Errorf("unexpected registered scheme %q", n)
+		}
+	}
+}
+
+// TestRegisterRejectsCollisions pins the init-time programming-error
+// contract: duplicate and empty names panic rather than silently
+// shadowing an existing policy.
+func TestRegisterRejectsCollisions(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate Register", func() { Register(flat{name: NoPG}) })
+	mustPanic("empty-name Register", func() { Register(flat{}) })
+}
+
+// TestBuiltinPolicyTable pins the predicate rows of the built-in
+// schemes — the capability matrix every layer wires against.
+func TestBuiltinPolicyTable(t *testing.T) {
+	cases := []struct {
+		name                                               string
+		gates, early, idleFilter, punches, niSlack, bypass bool
+	}{
+		{NoPG, false, false, false, false, false, false},
+		{ConvOptPG, true, true, true, false, false, false},
+		{PowerPunchSignal, true, true, false, true, false, false},
+		{PowerPunchPG, true, true, false, true, true, false},
+		{PlainPG, true, false, false, false, false, false},
+		{FlyOverPG, true, true, true, false, false, true},
+	}
+	for _, c := range cases {
+		p, err := Lookup(c.name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", c.name, err)
+		}
+		if p.Gates() != c.gates || p.EarlyWakeup() != c.early ||
+			p.IdleFilter() != c.idleFilter || p.Punches() != c.punches ||
+			p.NISlack() != c.niSlack || p.Bypass() != c.bypass {
+			t.Errorf("%s predicate row wrong: %+v", c.name, p)
+		}
+	}
+	// The bypass policy must also attribute its detour energy.
+	p, _ := Lookup(FlyOverPG)
+	if _, ok := p.(BypassEnergy); !ok {
+		t.Errorf("%s does not implement BypassEnergy", FlyOverPG)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sync"
 
+	"powerpunch/internal/config"
 	"powerpunch/internal/experiments"
 )
 
@@ -288,7 +289,7 @@ func (s *Server) handleCampaignCSV(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusInternalServerError, "corrupt record for key %s: %v", p.Key, err)
 			return
 		}
-		sch, _ := schemeByName(p.Spec.Scheme)
+		sch, _ := config.SchemeByName(p.Spec.Scheme)
 		pts = append(pts, experiments.LoadPointFrom(p.Spec.Pattern, p.Spec.Rate, sch, rec.Result, rec.Throughput))
 	}
 	w.Header().Set("Content-Type", "text/csv")

@@ -31,7 +31,7 @@ import (
 // the job to a full-system CMP/PARSEC workload, which replaces the
 // synthetic pattern/rate/warmup knobs.
 type JobSpec struct {
-	Scheme   string  `json:"scheme,omitempty"`   // No-PG|ConvOpt-PG|PowerPunch-Signal|PowerPunch-PG|Plain-PG
+	Scheme   string  `json:"scheme,omitempty"`   // any registered scheme name (see config.SchemeNames)
 	Topology string  `json:"topology,omitempty"` // mesh|torus|ring
 	Width    int     `json:"width,omitempty"`    // grid columns
 	Height   int     `json:"height,omitempty"`   // grid rows (1 for a ring)
@@ -112,8 +112,11 @@ func (s JobSpec) normalize() (JobSpec, error) {
 		return s, fmt.Errorf("rate must be in [0,1], got %g", s.Rate)
 	}
 	s = s.withDefaults()
-	if _, ok := schemeByName(s.Scheme); !ok {
-		return s, fmt.Errorf("unknown scheme %q", s.Scheme)
+	if _, err := config.SchemeByName(s.Scheme); err != nil {
+		// The typed *config.UnknownSchemeError carries the known names;
+		// its exact message lands in the 400 JSON envelope, mirroring
+		// the power-preset contract.
+		return s, err
 	}
 	if s.Bench != "" {
 		if _, err := parsec.Profile(s.Bench, s.Instr); err != nil {
@@ -137,9 +140,9 @@ func (s JobSpec) normalize() (JobSpec, error) {
 // experiment drivers do (which is what keeps API sweeps bit-identical
 // to them).
 func (s JobSpec) config() (config.Config, error) {
-	sch, ok := schemeByName(s.Scheme)
-	if !ok {
-		return config.Config{}, fmt.Errorf("unknown scheme %q", s.Scheme)
+	sch, err := config.SchemeByName(s.Scheme)
+	if err != nil {
+		return config.Config{}, err
 	}
 	cfg := config.Default()
 	cfg.Scheme = sch
@@ -173,20 +176,6 @@ func (s JobSpec) Key() string {
 		strconv.FormatFloat(s.Rate, 'x', -1, 64),
 		s.Bench, s.Instr, s.Cycles, s.Warmup, s.Seed, s.PowerPreset)))
 	return hex.EncodeToString(h[:])
-}
-
-// schemeByName resolves a scheme's presentation name, including the
-// ablation-only Plain-PG.
-func schemeByName(name string) (config.Scheme, bool) {
-	for _, s := range config.Schemes {
-		if s.String() == name {
-			return s, true
-		}
-	}
-	if config.PlainPG.String() == name {
-		return config.PlainPG, true
-	}
-	return 0, false
 }
 
 // JobRecord is the stored (and served) result of one job: the

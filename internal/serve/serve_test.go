@@ -594,3 +594,39 @@ func TestDrainingRejects(t *testing.T) {
 		t.Errorf("healthz while draining = %d", code)
 	}
 }
+
+// TestSubmitFlyOverScheme pins the bypass scheme's HTTP exposure: a
+// job naming FlyOver-PG runs to completion through the same registry
+// path as every other scheme, and its cache key is distinct from the
+// identical spec under ConvOpt-PG (the scheme name is part of the key).
+func TestSubmitFlyOverScheme(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 2})
+	spec := quickSpec(77)
+	spec.Scheme = "FlyOver-PG"
+
+	sr := ts.submit(t, spec, http.StatusAccepted)
+	js := ts.waitJob(t, sr.ID)
+	if js.Status != "done" || js.Error != "" {
+		t.Fatalf("FlyOver job finished as %+v", js)
+	}
+	code, body := ts.get(t, "/api/v1/jobs/"+sr.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result = %d (%s)", code, body)
+	}
+	var rec JobRecord
+	mustJSON(t, body, &rec)
+	if rec.Spec.Scheme != "FlyOver-PG" {
+		t.Errorf("record spec scheme %q", rec.Spec.Scheme)
+	}
+	if !rec.Result.Drained || rec.Result.Summary.Injected == 0 {
+		t.Errorf("empty FlyOver run: %+v", rec.Result.Summary)
+	}
+
+	conv := spec
+	conv.Scheme = "ConvOpt-PG"
+	cr := ts.submit(t, conv, http.StatusAccepted)
+	if cr.Key == sr.Key {
+		t.Errorf("ConvOpt-PG spec shares cache key %s with FlyOver-PG", cr.Key)
+	}
+	ts.waitJob(t, cr.ID)
+}

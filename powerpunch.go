@@ -47,19 +47,37 @@ import (
 // plus the power-gating and Power Punch parameters).
 type Config = config.Config
 
-// Scheme selects the power-management policy under evaluation.
+// Scheme selects the power-management policy under evaluation by its
+// registered name. The named constants cover the built-in schemes;
+// SchemeByName resolves any registered name (rejecting unknown ones
+// with a typed *UnknownSchemeError).
 type Scheme = config.Scheme
 
-// The four schemes of the paper's evaluation.
+// The built-in schemes: the paper's evaluation set plus the
+// FlyOver-style bypass rival.
 const (
 	NoPG             = config.NoPG
 	ConvOptPG        = config.ConvOptPG
 	PowerPunchSignal = config.PowerPunchSignal
 	PowerPunchPG     = config.PowerPunchPG
+	FlyOverPG        = config.FlyOverPG
 )
 
-// Schemes lists all four schemes in the paper's presentation order.
+// Schemes lists the paper's four schemes in presentation order.
 var Schemes = config.Schemes
+
+// SchemeNames lists every registered scheme name, sorted (including
+// the ablation-only Plain-PG and the FlyOver-PG bypass scheme).
+func SchemeNames() []string { return config.SchemeNames() }
+
+// SchemeByName resolves a registered scheme name; the empty string is
+// the No-PG baseline. Unknown names fail with *UnknownSchemeError.
+func SchemeByName(name string) (Scheme, error) { return config.SchemeByName(name) }
+
+// UnknownSchemeError is the typed error SchemeByName and
+// Config.Validate report for unregistered scheme names; it carries
+// the known names so callers can self-correct.
+type UnknownSchemeError = config.UnknownSchemeError
 
 // DefaultConfig returns the paper's primary configuration: an 8x8 mesh
 // with XY routing, 3 VNs, 3-stage speculative routers, Twakeup=8,

@@ -15,7 +15,9 @@ import (
 // delivery callbacks, delayed submissions, and buffered event flushes
 // all run under -race. The profiles rotate across schemes so the soak
 // touches a spread of workload behaviours (bursty, memory-bound,
-// invalidation-heavy) rather than one profile four times.
+// invalidation-heavy) rather than one profile per run; the FlyOver leg
+// soaks the bypass relay and its deferred parallel-engine replay under
+// a real workload.
 func TestSoakCMP(t *testing.T) {
 	cases := []struct {
 		scheme  powerpunch.Scheme
@@ -26,6 +28,7 @@ func TestSoakCMP(t *testing.T) {
 		{powerpunch.ConvOptPG, "canneal", 0},
 		{powerpunch.PowerPunchSignal, "ferret", 4},
 		{powerpunch.PowerPunchPG, "fluidanimate", 4},
+		{powerpunch.FlyOverPG, "swaptions", 4},
 	}
 	for _, c := range cases {
 		c := c
