@@ -38,7 +38,9 @@ soak-obs: vet
 
 # Parallel-engine soak: every scheme on every fabric on the sharded
 # tick engine with the invariant engine sweeping every cycle, plus a
-# recycled high-load leg at eight workers and an energy-enabled leg
+# recycled high-load leg at eight workers, bounded large-fabric legs
+# (32x32 checked, 64x64 FlyOver — the sparse-active-set regime where
+# the occupancy-aware regrouping does real work), and an energy-enabled leg
 # (TestSoakParallelEnergy: per-component accounting + timeline sampler
 # on all schemes x mesh/torus) — under the race detector, so the
 # section bodies, barrier handoffs, replay buffers, per-worker pools,
@@ -103,7 +105,8 @@ check: vet test race soak soak-obs soak-par soak-cmp soak-serve apicheck bench-c
 # inside the same machine-noise phase) and bench-json keeps the best
 # pass per metric, so minute-scale frequency/neighbour phases on shared
 # machines do not trip the gate; bench-diff additionally normalizes out
-# whatever uniform drift remains. The gate locks the per-scheme/load
+# remaining drift per benchmark family (phases are temporally local
+# and families run contiguously). The gate locks the per-scheme/load
 # tick benchmarks only (8x8 mesh plus the torus and ring rows of
 # BenchmarkTickTopo*); sub-microsecond micros (NetworkStepIdle,
 # PunchFabricStep) are too jitter-prone for a threshold gate — run

@@ -174,18 +174,30 @@ func readBaseline(path string) *BenchBaseline {
 	return &b
 }
 
-// speedFactor estimates the global machine-speed drift between two
-// runs: the median ratio of new/base ns/op across every shared
-// benchmark. Shared cloud machines routinely drift 10-20% in sustained
-// phases (frequency scaling, noisy neighbours); dividing the drift out
-// makes the gate compare the *shape* of the performance profile, so a
-// uniform slowdown passes while a localized regression — one code path
-// got slower relative to the rest, e.g. the active-set tick relative to
-// its full-walk reference — still trips the tolerance. Real regressions
-// are localized by construction: they cannot move the median of 20+
-// benchmarks spanning independent code paths.
-func speedFactor(base map[string]BenchEntry, cur []BenchEntry) float64 {
-	var ratios []float64
+// speedFactors estimates the machine-speed drift between two runs as
+// the median ratio of new/base ns/op across shared benchmarks. Shared
+// cloud machines routinely drift 10-20% in sustained phases (frequency
+// scaling, noisy neighbours); dividing the drift out makes the gate
+// compare the *shape* of the performance profile, so a uniform
+// slowdown passes while a localized regression — one code path got
+// slower relative to the rest, e.g. the active-set tick relative to
+// its full-walk reference — still trips the tolerance. Real
+// regressions are localized by construction: they cannot move the
+// median of many benchmarks spanning independent code paths.
+//
+// Phases are *temporally* local: a suite pass runs minutes, and the
+// slow large-fabric rows execute in a different phase window than the
+// sub-millisecond rows that dominate a global median. Since each
+// top-level benchmark family (the name's first path segment) runs
+// contiguously, drift is therefore estimated per family — the global
+// median is the fallback for families with too few shared rows to
+// hide a localized regression in.
+func speedFactors(base map[string]BenchEntry, cur []BenchEntry) (global float64, byFamily map[string]float64) {
+	// A family median is only trustworthy as a drift estimate when a
+	// single regressed row cannot be the median: require several rows.
+	const minFamilyRows = 6
+	var all []float64
+	fam := map[string][]float64{}
 	for _, e := range cur {
 		be, ok := base[e.Name]
 		if !ok {
@@ -193,14 +205,32 @@ func speedFactor(base map[string]BenchEntry, cur []BenchEntry) float64 {
 		}
 		bv, nv := be.Metrics["ns/op"], e.Metrics["ns/op"]
 		if bv > 0 && nv > 0 {
-			ratios = append(ratios, nv/bv)
+			all = append(all, nv/bv)
+			f := benchFamily(e.Name)
+			fam[f] = append(fam[f], nv/bv)
 		}
 	}
-	if len(ratios) == 0 {
-		return 1
+	if len(all) == 0 {
+		return 1, nil
 	}
-	sort.Float64s(ratios)
-	return ratios[len(ratios)/2]
+	byFamily = map[string]float64{}
+	for f, ratios := range fam {
+		if len(ratios) >= minFamilyRows {
+			sort.Float64s(ratios)
+			byFamily[f] = ratios[len(ratios)/2]
+		}
+	}
+	sort.Float64s(all)
+	return all[len(all)/2], byFamily
+}
+
+// benchFamily returns the benchmark name's first path segment, e.g.
+// "TickPar" for "TickPar/PowerPunch-PG/8x8/load=0.10/par=0".
+func benchFamily(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return name
 }
 
 func benchDiff(args []string) {
@@ -220,8 +250,9 @@ func benchDiff(args []string) {
 		baseByName[e.Name] = e
 	}
 	speed := 1.0
+	var famSpeed map[string]float64
 	if !*rawTimes {
-		speed = speedFactor(baseByName, cur.Benchmarks)
+		speed, famSpeed = speedFactors(baseByName, cur.Benchmarks)
 	}
 
 	regressions := 0
@@ -240,16 +271,21 @@ func benchDiff(args []string) {
 				continue
 			}
 			compared++
-			// Expected value under the global drift. Counting units
+			// Expected value under the drift — the row's family
+			// estimate when available, else global. Counting units
 			// (allocs/op) are exact and never normalized; time units
 			// scale with the drift, rates scale inversely.
+			rowSpeed := speed
+			if s, ok := famSpeed[benchFamily(e.Name)]; ok {
+				rowSpeed = s
+			}
 			exp := bv
 			switch {
 			case unit == "allocs/op" || unit == "B/op":
 			case higherIsBetter[unit]:
-				exp = bv / speed
+				exp = bv / rowSpeed
 			default:
-				exp = bv * speed
+				exp = bv * rowSpeed
 			}
 			var frac float64 // fractional regression vs expectation, positive = worse
 			switch {
@@ -279,8 +315,8 @@ func benchDiff(args []string) {
 	}
 	printSpeedups(cur.Benchmarks)
 
-	fmt.Printf("bench-diff: %d metrics compared against %s (go %s vs %s), tolerance %.0f%%, machine drift %+.1f%%\n",
-		compared, *basePath, base.GoVersion, cur.GoVersion, *maxRegress*100, (speed-1)*100)
+	fmt.Printf("bench-diff: %d metrics compared against %s (go %s vs %s), tolerance %.0f%%, machine drift %+.1f%% global, %d family estimates\n",
+		compared, *basePath, base.GoVersion, cur.GoVersion, *maxRegress*100, (speed-1)*100, len(famSpeed))
 	if regressions > 0 || len(missing) > 0 {
 		fmt.Fprintf(os.Stderr, "bench-diff: FAIL: %d regression(s), %d missing benchmark(s)\n",
 			regressions, len(missing))
@@ -297,7 +333,11 @@ var parLabel = regexp.MustCompile(`/par=(\d+)$`)
 // differ only in their /par=N label: each par=N row (N > 0) is divided
 // by its par=0 sibling's cycles/sec. On a multi-core host this is the
 // parallel engine's realized speedup; on a single-core host it reads
-// below 1.0x and quantifies barrier overhead instead.
+// below 1.0x and quantifies barrier overhead instead. The sync column
+// is the same comparison in absolute terms: ns/op at par=N minus ns/op
+// at par=0. Each benchmark op is one simulated cycle, so the column is
+// the per-cycle rendezvous/commit overhead the parallel engine pays on
+// top of the serial tick (negative once the cores outrun the barriers).
 func printSpeedups(entries []BenchEntry) {
 	byName := map[string]BenchEntry{}
 	for _, e := range entries {
@@ -317,8 +357,12 @@ func printSpeedups(entries []BenchEntry) {
 		if pv <= 0 || sv <= 0 {
 			continue
 		}
-		fmt.Printf("SPEEDUP  %-45s par=%-3s %5.2fx (%.4g vs %.4g cycles/sec serial)\n",
-			stem, m[1], pv/sv, pv, sv)
+		sync := "    sync=n/a"
+		if pns, sns := e.Metrics["ns/op"], serial.Metrics["ns/op"]; pns > 0 && sns > 0 {
+			sync = fmt.Sprintf("sync=%+8.0f ns/cycle", pns-sns)
+		}
+		fmt.Printf("SPEEDUP  %-45s par=%-3s %5.2fx  %s  (%.4g vs %.4g cycles/sec serial)\n",
+			stem, m[1], pv/sv, sync, pv, sv)
 	}
 }
 

@@ -211,6 +211,11 @@ func replay(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	spec := powerpunch.TopologySpec{Topology: *topoName, Width: *width, Height: *height}
+	if err := powerpunch.ValidateTrafficTrace(spec, tr); err != nil {
+		fatal(fmt.Errorf("replay: trace does not fit the %s %dx%d fabric — pass the -topo/-width/-height it was recorded on: %w",
+			*topoName, *width, *height, err))
+	}
 
 	cfg := powerpunch.DefaultConfig()
 	cfg.Scheme = s

@@ -89,6 +89,50 @@ func TestValidateAcceptsTopologies(t *testing.T) {
 	}
 }
 
+// TestValidateAcceptsLargeFabrics locks 32x32 and 64x64 meshes and
+// tori in as first-class configurations: they must validate under
+// every scheme (the punch diameter check, dateline VC split, and
+// bypass link gate all have to hold at scale) and their routing
+// fabrics must build with the expected node count and diameter.
+func TestValidateAcceptsLargeFabrics(t *testing.T) {
+	fabrics := []struct {
+		topology      string
+		width, height int
+		diameter      int
+	}{
+		{"mesh", 32, 32, 62},
+		{"mesh", 64, 64, 126},
+		{"torus", 32, 32, 32},
+		{"torus", 64, 64, 64},
+	}
+	for _, fab := range fabrics {
+		for _, s := range AllSchemes {
+			cfg := Default()
+			cfg.Scheme = s
+			cfg.Topology = fab.topology
+			cfg.Width, cfg.Height = fab.width, fab.height
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("%s %dx%d under %s: unexpected validation error: %v",
+					fab.topology, fab.width, fab.height, s, err)
+			}
+		}
+		cfg := Default()
+		cfg.Topology = fab.topology
+		cfg.Width, cfg.Height = fab.width, fab.height
+		rf, err := cfg.BuildRouting()
+		if err != nil {
+			t.Fatalf("%s %dx%d: BuildRouting: %v", fab.topology, fab.width, fab.height, err)
+		}
+		top := rf.Topology()
+		if got := top.NumNodes(); got != fab.width*fab.height {
+			t.Errorf("%s %dx%d: %d nodes, want %d", fab.topology, fab.width, fab.height, got, fab.width*fab.height)
+		}
+		if got := top.Diameter(); got != fab.diameter {
+			t.Errorf("%s %dx%d: diameter %d, want %d", fab.topology, fab.width, fab.height, got, fab.diameter)
+		}
+	}
+}
+
 func TestValidateSchemeScoping(t *testing.T) {
 	// Power-gating parameters are not validated under No-PG.
 	cfg := Default()

@@ -107,7 +107,7 @@ func NewFabricOn(rf topo.RoutingFunction, hops int, strict bool, acct *power.Acc
 		panic(fmt.Sprintf("core: punch hops must be >= 1, got %d", hops))
 	}
 	n := rf.Topology().NumNodes()
-	return &Fabric{
+	f := &Fabric{
 		rf:         rf,
 		t:          rf.Topology(),
 		hops:       hops,
@@ -120,6 +120,23 @@ func NewFabricOn(rf topo.RoutingFunction, hops int, strict bool, acct *power.Acc
 		hold:       make([]bool, n),
 		strictUsed: make([][mesh.NumLinkDirs]bool, n),
 	}
+	// The per-node target lists are recycled ([:0]) every cycle and
+	// their occupancy is bounded by the local reach set, so a small
+	// preallocation keeps Step allocation-free in the steady state:
+	// without it, large fabrics pay a long tail of first-time-growth
+	// appends (each node's lists must individually hit their high-water
+	// mark before the hot path stops allocating).
+	const punchListCap = 16
+	for i := 0; i < n; i++ {
+		// The inbox merges targets from all four directions, so it
+		// carries a deeper high-water mark than the per-direction lists.
+		f.inbox[i] = make([]mesh.NodeID, 0, 2*punchListCap)
+		f.pending[i] = make([]mesh.NodeID, 0, punchListCap)
+		for d := range f.outbox[i] {
+			f.outbox[i][d] = make([]mesh.NodeID, 0, punchListCap)
+		}
+	}
+	return f
 }
 
 // Hops returns the configured punch hop-count slack.

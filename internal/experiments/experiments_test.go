@@ -258,6 +258,43 @@ func TestParallelForCoversAllIndices(t *testing.T) {
 	}
 }
 
+func TestParallelForChunkCount(t *testing.T) {
+	// The dispatch chunk count is pinned to chunksPerWorker chunks per
+	// worker (workers themselves sized by runtime.GOMAXPROCS), capped
+	// at n so no chunk is empty.
+	cases := []struct {
+		n, workers, want int
+	}{
+		{100, 8, 32},  // 8*4, well under n
+		{100, 1, 4},   // degenerate worker count still chunks
+		{5, 8, 5},     // capped at n
+		{32, 8, 32},   // exactly n
+		{1000, 4, 16}, // scales with workers, not n
+		{0, 8, 0},
+	}
+	for _, c := range cases {
+		if got := chunksFor(c.n, c.workers); got != c.want {
+			t.Errorf("chunksFor(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+	// Chunk bounds tile [0, n) exactly: contiguous, non-empty, complete.
+	for _, c := range cases {
+		chunks := chunksFor(c.n, c.workers)
+		prev := 0
+		for k := 0; k < chunks; k++ {
+			lo, hi := chunkBounds(c.n, chunks, k)
+			if lo != prev || hi <= lo {
+				t.Fatalf("chunkBounds(%d, %d, %d) = [%d, %d): not a tiling from %d",
+					c.n, chunks, k, lo, hi, prev)
+			}
+			prev = hi
+		}
+		if chunks > 0 && prev != c.n {
+			t.Fatalf("n=%d workers=%d: chunks cover [0, %d), want [0, %d)", c.n, c.workers, prev, c.n)
+		}
+	}
+}
+
 func TestParallelForPropagatesPanic(t *testing.T) {
 	// Force the concurrent path even on single-CPU machines.
 	old := runtime.GOMAXPROCS(4)

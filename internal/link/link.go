@@ -24,7 +24,12 @@ func NewPipe[T any](delay int) *Pipe[T] {
 	if delay < 1 {
 		panic(fmt.Sprintf("link: pipe delay must be >= 1, got %d", delay))
 	}
-	return &Pipe[T]{delay: int64(delay)}
+	// One push per cycle stays in flight for `delay` cycles, so the
+	// queue's steady-state occupancy is bounded by delay plus the
+	// consumer's same-cycle lag. Preallocating that bound keeps Push
+	// allocation-free in the steady state (append still grows the
+	// queue if a caller bursts past it).
+	return &Pipe[T]{delay: int64(delay), q: make([]entry[T], 0, delay+2)}
 }
 
 // Delay returns the pipe latency in cycles.

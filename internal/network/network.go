@@ -175,8 +175,9 @@ func New(cfg config.Config) (*Network, error) {
 		// stale for a parked node. The sync hook replays the parked
 		// controller's skipped idle cycles first, so the read sees
 		// exactly the state the full walk would have computed. The
-		// full-tick and sharded engines step every controller every
-		// cycle, so the hook no-ops there.
+		// full-tick engine steps every controller every cycle and the
+		// sharded engine syncs the 2-hop halo of every sectioned node
+		// up front (par.go syncNeighbors), so the hook no-ops there.
 		sync := func(id mesh.NodeID) {
 			if n.par == nil && n.sched != nil {
 				n.sched.catchUp(int32(id), n.now-1)
@@ -328,6 +329,12 @@ func (n *Network) NewPacket(src, dst mesh.NodeID, vn flit.VirtualNetwork, kind f
 func (n *Network) SetAccounting(v bool) {
 	if n.sched != nil {
 		n.sched.syncAll(n.now - 1)
+	}
+	if n.par != nil {
+		// The sync's catch-up charges landed in the per-worker counter
+		// lanes; fold them under the outgoing flag so the boundary is
+		// exact for readers that arrive before the next cycle's fold.
+		n.Acct.FoldLanes()
 	}
 	n.Acct.SetEnabled(v)
 }
@@ -819,6 +826,9 @@ func (n *Network) Quiesced() bool {
 func (n *Network) SyncInspection() {
 	if n.sched != nil {
 		n.sched.syncAll(n.now - 1)
+	}
+	if n.par != nil {
+		n.Acct.FoldLanes()
 	}
 }
 

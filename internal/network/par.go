@@ -1,62 +1,122 @@
 package network
 
-// The deterministic sharded parallel tick engine (DESIGN.md §11).
+// The deterministic sharded parallel tick engine (DESIGN.md §11, §16).
 //
-// Config.Workers > 1 selects this engine: the node set is split into
-// contiguous shards, one per worker, and each of the nine tick phases
-// runs in parallel across the shards with barriers between groups of
-// phases (sections). The result is bit-identical to the serial engines
-// — including floating-point accumulation order, event order, and
-// statistics sample order — because
+// Config.Workers > 1 selects this engine. The node set is split into
+// contiguous "homes", one per worker; each home owns its routers, NIs,
+// per-home commit buffers (punch ops, obs events, scheduler arms,
+// Deliver callbacks, pool returns), an obs recorder lane, a statistics
+// lane, and a flit/packet pool. Ownership never moves. What does move,
+// cycle to cycle, is the *execution grouping*: the homes are
+// partitioned into k contiguous groups balanced by active-set
+// occupancy, and each group is executed by one goroutine (the
+// coordinator runs group 0 inline; group g >= 1 runs on the goroutine
+// of its first home, which walks the group's homes in ascending
+// order). Asleep regions therefore cost zero worker wakeups: with few
+// active nodes k collapses to 1 and the coordinator runs everything
+// inline with no atomics, and with none it skips the section outright.
+//
+// The result is bit-identical to the serial engines — including
+// floating-point accumulation order, event order, and statistics
+// sample order — because
 //
 //   - every mutation inside a worker section touches only state with a
 //     single writer (own routers/NIs, own scratch, the uniquely-paired
-//     link pipes and credit counters across a port), and
-//   - every cross-shard effect (punch fabric signals, observability
-//     events, scheduler arms, Deliver callbacks, flit-pool returns) is
-//     captured in per-worker buffers and replayed by the coordinator in
-//     worker-major order — which, with contiguous shards, is exactly
-//     the serial engines' ascending-node order.
+//     link pipes and credit counters across a port),
+//   - every cross-home effect is captured in per-home buffers and
+//     replayed by the coordinator in home-major order — which, with
+//     contiguous homes, is exactly the serial engines' ascending-node
+//     order, independent of how homes were grouped for execution, and
+//   - re-grouping happens only at deterministic points (cycle top and
+//     after an arming flush), is a pure function of the active set, and
+//     never changes which home a node commits through.
 //
-// Barrier placement per cycle (active-set form; the FullTick form is
-// identical minus the scheduler interactions):
+// Section fusion (active-set form; FullTick is the same minus the
+// scheduler interactions). The serial engine's nine phases compress
+// into three sections, so a gating cycle pays at most three rendezvous
+// and a non-gating cycle at most two:
 //
-//	coordinator  flush, eager syncAll(now-1)
-//	section A    pull-deliver flits, push credits, eject      [barrier]
-//	coordinator  replay eject events, Deliver calls, flush
-//	section A2   NI punch signals, router punch emission      [barrier]
-//	             (fused into A when no Deliver hook is set)
+//	coordinator  flush + halo-sync + regroup
+//	section A    pull-deliver flits, push credits, eject
+//	coordinator  replay bypass forwards, eject events, Deliver
+//	             calls, flush (+regroup)
+//	section B    NI punch signals, router punch emission (deferred),
+//	             mask, router pipelines, NI injection, WU want levels
+//	             (+wanted-neighbour arms) — or, for non-gating schemes,
+//	             the static-power ticks
 //	coordinator  replay punch ops into the real fabric, Fabric.Step,
-//	             arm held nodes, flush
-//	section B    mask, router pipelines, NI injection         [barrier]
-//	coordinator  replay pipeline+inject events, replay arms, flush
-//	section C1   WU want levels (+ collect wanted-neighbour arms)
-//	                                                          [barrier]
-//	coordinator  replay arms, flush
-//	section C2   wakeup levels, PG controller steps, static-power
-//	             ticks                                        [barrier]
-//	coordinator  replay controller events, TickCycle, fold counter
-//	             lanes, merge collector lanes, drain flit returns,
-//	             invariant checks, endCycle
+//	             replay pipeline+inject events, replay arms, flush
+//	             (+regroup); non-gating: straggler static ticks
+//	section C    wakeup levels, PG controller steps, static-power
+//	             ticks (gating schemes only)
+//	coordinator  replay controller events, TickCycle, merge dirty
+//	             collector lanes, drain flit returns, invariant
+//	             checks, endCycle, fold counter lanes
 //
-// The eager syncAll at the top of each cycle is what makes the worker
-// sections race-free against the scheduler: every parked node's catch-up
-// charges are applied before the sections start, so the catchUp calls
-// inside maskBlocked become read-only early returns. Catch-up replays
-// the identical per-cycle operations whether batched or not, so the
-// eager form changes no state relative to the serial engine.
+// Why the fusions are sound:
 //
-// Flit and packet pools are per worker. Packets are keyed by the owner
+//   - Signals/emission fuse into B because StepSignals emits no bus
+//     events and every punch-fabric call is deferred through the sink;
+//     the fabric itself steps on the coordinator after B, and nothing
+//     in B reads fabric state (controller inputs read Fabric.Hold in
+//     C). Float order per router is preserved because PunchHop charges
+//     only the Overhead accumulator while B's pipeline events charge
+//     only Dynamic, and the other Overhead writers (WakeupSignal,
+//     GatingEvent) run in C, after the fabric replay — per-field
+//     accumulation order is exactly serial.
+//   - Want levels fuse into B because WantsOutput reads only the own
+//     router's post-pipeline state (serial computes it after all of
+//     phases 4-6; per-node state is the same either way) and
+//     controllers are frozen until C. Nodes armed between B and C
+//     never ran B, but the serial engine computes all-false wants for
+//     them (they are empty), which is exactly the cleared value their
+//     retirement left behind.
+//   - Nodes armed by the fabric's Held list miss B's mask/pipeline/
+//     inject, but a just-armed node is empty (pushes land next cycle),
+//     so those phases are strict no-ops for it and its stale masks are
+//     refreshed before its switch allocator could ever use them.
+//
+// Rendezvous. Dispatch uses a per-worker sense counter (slot) plus a
+// park flag instead of channel round-trips: the coordinator publishes
+// the group range, bumps the slot, and sends a wake token only if the
+// worker declared itself parked; the worker spins briefly (yielding),
+// then parks on its buffered channel. Under Go's sequentially
+// consistent atomics the worker's parkFlag store precedes its slot
+// re-check and the coordinator's slot bump precedes its parkFlag read,
+// so one side always sees the other — at worst one stale token is
+// consumed and re-checked. Completion is a single shared countdown.
+//
+// Scheduler composition. Instead of eagerly syncing every parked node
+// every cycle (O(n), which would dominate at 64x64), the coordinator
+// catches up only the *halo*: the 1-hop neighbours (plus the 2-hop
+// through-path when a bypass scheme is on) of every node entering a
+// section, at the cycle top and at every arming flush. That is the
+// complete set of parked-FSM reads inside sections (maskBlocked's
+// PGAsserted, the bypass admission/suppression controller reads);
+// section C reads no parked neighbour FSMs at all. The in-section
+// catchUp calls therefore stay read-only early returns, and everything
+// else syncs lazily exactly as the serial active-set engine does.
+//
+// Dirty homes. A home is dirty when any of its nodes is in the active
+// set or was armed this cycle; regrouping and arming flushes maintain
+// the flag, and the cycle top resets last cycle's dirty recorders (so
+// a clean home always has an empty recorder and zero marks). Event
+// replay, collector merging, and flit-return draining all skip clean
+// homes, so per-cycle commit cost scales with the work done, not with
+// the worker count.
+//
+// Flit and packet pools are per home. Packets are keyed by the owner
 // of their destination on both ends (NewPacket draws from the dst
 // owner's pool; the dst NI returns them), a closed loop. Flit objects
 // are keyed by the owner of their source (injection draws them); at
-// ejection the destination worker defers each flit into a per-worker-
-// pair return queue and the coordinator drains the queues in fixed
+// ejection the destination home defers each flit into a per-home-pair
+// return queue and the coordinator drains the queues in fixed
 // (target, source) order — so steady state allocates nothing under any
 // traffic pattern, and pool state stays deterministic.
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -75,12 +135,15 @@ import (
 const (
 	secExit int32 = iota
 	secDeliver
-	secDeliverSignals // secDeliver + secSignals fused (no Deliver hooks)
-	secSignals
-	secPipeline
-	secWants
+	secMain
 	secCtrl
 )
+
+// defaultParGrain is the occupancy-aware grouping grain: one execution
+// group is spun up per ~grain active nodes (clamped to the home
+// count), so a handful of awake routers never pays a worker dispatch.
+// Tests override the engine's grain field to pin specific shapes.
+const defaultParGrain = 32
 
 // punchOp is one deferred punch-fabric call.
 type punchOp struct {
@@ -94,9 +157,9 @@ const (
 	opEmitSource
 )
 
-// punchSink is one worker's punch-fabric facade. During a section it
-// defers every call into the worker's op buffers (sigOps for the NI
-// signal phase, emitOps for the router emission phase) for worker-major
+// punchSink is one home's punch-fabric facade. During a section it
+// defers every call into the home's op buffers (sigOps for the NI
+// signal phase, emitOps for the router emission phase) for home-major
 // replay into the real fabric. Outside sections — driver-time Announce
 // and Submit paths — it forwards directly, preserving the serial
 // engine's event stamping (driver-time punch events carry the previous
@@ -123,8 +186,8 @@ func (ps *punchSink) EmitSource(cur, dst mesh.NodeID) {
 	ps.w.emitOps = append(ps.w.emitOps, punchOp{opEmitSource, cur, dst})
 }
 
-// flitSink routes an ejected flit back toward the pool of the worker
-// that owns the flit's source node, via the ejecting worker's per-pair
+// flitSink routes an ejected flit back toward the pool of the home
+// that owns the flit's source node, via the ejecting home's per-pair
 // return queue (drained by the coordinator in fixed order).
 type flitSink struct{ w *parWorker }
 
@@ -143,9 +206,9 @@ type deferredDeliver struct {
 // bypassFwd is one deferred bypass relay (bypass schemes only): a
 // tagged flit drained from the first link that must be pushed onto the
 // flown-over router's own output pipe. The push cannot happen inside
-// the delivery section — the receiver's worker would write a pipe the
-// landing router's worker may be draining — so it is buffered here and
-// replayed by the coordinator after the section A barrier.
+// the delivery section — the receiver's home would write a pipe the
+// landing router's home may be draining — so it is buffered here and
+// replayed by the coordinator after the section A rendezvous.
 type bypassFwd struct {
 	from mesh.NodeID    // sender whose stream counter releases at the tail
 	via  mesh.NodeID    // flown-over router carrying the second link
@@ -153,14 +216,23 @@ type bypassFwd struct {
 	ft   router.FlitInTransit
 }
 
-// parWorker is one shard's execution context. Worker 0 is the
-// coordinator running inline; workers 1..nw-1 are goroutines.
+// parWorker is one home: a contiguous node range plus its commit lanes
+// and, for homes 1..nw-1, a worker goroutine that executes whatever
+// group of homes the coordinator assigns it.
 type parWorker struct {
 	eng    *parEngine
 	id     int
 	lo, hi int32 // owned node range [lo, hi)
 
-	wakeCh chan struct{}
+	// Rendezvous state. slot is the sense counter the goroutine waits
+	// on; runLo/runHi is the home range of the assigned group,
+	// published before the slot bump. parkFlag tells the coordinator a
+	// wake token is needed.
+	slot     atomic.Uint64
+	parkFlag atomic.Int32
+	runLo    int32
+	runHi    int32
+	wakeCh   chan struct{}
 
 	// Lane sinks: events, statistics, flit/packet pool.
 	rec  *obs.Recorder    // nil without an observer
@@ -168,17 +240,17 @@ type parWorker struct {
 	col  *stats.Collector // lane collector, merged each cycle
 	pool *flit.Pool       // nil on checked runs
 
-	sink     punchSink
-	flitRec  flitSink
-	sigOps   []punchOp
-	emitOps  []punchOp
-	arms     []mesh.NodeID
-	delivs   []deferredDeliver
-	bypFwd   []bypassFwd
-	flitRet  [][]*flit.Flit // indexed by target worker
-	marks    [4]int         // recorder cuts: A, B1, B2, C
+	sink    punchSink
+	flitRec flitSink
+	sigOps  []punchOp
+	emitOps []punchOp
+	arms    []mesh.NodeID
+	delivs  []deferredDeliver
+	bypFwd  []bypassFwd
+	flitRet [][]*flit.Flit // indexed by target home
+	marks   [4]int         // recorder cuts: A, B-router, B-inject, C
 
-	// Per-worker drain scratch (the parallel deliverNode).
+	// Per-home drain scratch (the parallel deliverNode).
 	flitBuf []router.FlitInTransit
 	credBuf []router.Credit
 
@@ -192,7 +264,8 @@ type parWorker struct {
 type parEngine struct {
 	n       *Network
 	workers []*parWorker
-	ownerOf []int32 // node -> worker
+	ownerOf []int32 // node -> home
+	gates   bool    // pol.Gates(), resolved once
 
 	realBus *obs.Bus // set by Observe; replay target
 
@@ -200,17 +273,35 @@ type parEngine struct {
 	// or forward (driver/coordinator context). Written by the
 	// coordinator only, outside sections; the dispatch atomics order it
 	// for the workers.
-	inSection  bool
-	hasDeliver bool
+	inSection bool
+
+	// Occupancy-aware grouping state (see regroupNow). groups holds the
+	// first home of each execution group; cnt the per-home active-node
+	// counts it was derived from. dirty marks homes with work this
+	// cycle; regroup requests a re-partition at the next section edge.
+	grain      int
+	cnt        []int
+	groups     []int32
+	dirty      []bool
+	regroup    bool
+	lastKeep   bool
+	stragglers []int32
+
+	// Rendezvous instrumentation (tests and DESIGN.md numbers):
+	// sections dispatched to at least one worker goroutine, sections
+	// the coordinator ran inline (k == 1), and sections skipped
+	// outright (k == 0).
+	nDispatch int64
+	nInline   int64
+	nSkip     int64
 
 	// Dispatch state. sect and cycle are plain fields published to the
-	// workers by the epoch increment and read back after the pending
-	// count reaches zero.
-	sect    int32
-	cycle   int64
-	epoch   atomic.Uint64
-	pending atomic.Int32
-	doneCh  chan struct{}
+	// workers by the per-worker slot bumps; joins counts outstanding
+	// groups.
+	sect   int32
+	cycle  int64
+	joins  atomic.Int32
+	doneCh chan struct{}
 
 	closed bool
 	wg     sync.WaitGroup
@@ -222,7 +313,12 @@ func newParEngine(n *Network, workers int) *parEngine {
 	if nw > nNodes {
 		nw = nNodes
 	}
-	e := &parEngine{n: n, doneCh: make(chan struct{}, 1)}
+	e := &parEngine{
+		n:      n,
+		gates:  n.pol.Gates(),
+		grain:  defaultParGrain,
+		doneCh: make(chan struct{}, 1),
+	}
 	e.ownerOf = make([]int32, nNodes)
 	base, rem := nNodes/nw, nNodes%nw
 	lo := 0
@@ -241,7 +337,6 @@ func newParEngine(n *Network, workers int) *parEngine {
 		}
 		w.sink.w = w
 		w.flitRec.w = w
-		w.flitRet = make([][]*flit.Flit, 0) // sized below once nw is final
 		for i := lo; i < lo+size; i++ {
 			e.ownerOf[i] = int32(wid)
 		}
@@ -250,6 +345,20 @@ func newParEngine(n *Network, workers int) *parEngine {
 	}
 	for _, w := range e.workers {
 		w.flitRet = make([][]*flit.Flit, nw)
+	}
+	e.cnt = make([]int, nw)
+	e.groups = make([]int32, 0, nw+1)
+	e.dirty = make([]bool, nw)
+	e.stragglers = make([]int32, 0, nNodes)
+	e.lastKeep = e.workers[0].col.KeepingSamples()
+	if n.sched == nil {
+		// FullTick: every node steps every cycle, so the grouping is
+		// static — one group per home, all dispatched — and every home
+		// is permanently dirty.
+		for h := range e.workers {
+			e.groups = append(e.groups, int32(h))
+			e.dirty[h] = true
+		}
 	}
 
 	n.Acct.SetLanes(e.ownerOf, nw)
@@ -290,8 +399,8 @@ func newParEngine(n *Network, workers int) *parEngine {
 	return e
 }
 
-// installLaneBuses gives every worker a recording lane bus and points
-// the routers, PG controllers, and NIs of its shard at it; the punch
+// installLaneBuses gives every home a recording lane bus and points
+// the routers, PG controllers, and NIs of its range at it; the punch
 // fabric keeps the real bus (its emissions already happen on the
 // coordinator, in serial order). Called by Observe.
 func (e *parEngine) installLaneBuses(real *obs.Bus) {
@@ -318,8 +427,8 @@ func (e *parEngine) Close() {
 	e.closed = true
 	if len(e.workers) > 1 {
 		e.sect = secExit
-		e.epoch.Add(1)
 		for _, w := range e.workers[1:] {
+			w.slot.Add(1)
 			select {
 			case w.wakeCh <- struct{}{}:
 			default:
@@ -329,30 +438,39 @@ func (e *parEngine) Close() {
 	}
 }
 
-// workerLoop is the body of workers 1..nw-1: wait for a dispatch, run
-// the section over the own shard, signal completion. Waiting spins
-// briefly (yielding) before parking on the wake channel; the
-// coordinator's unconditional post-dispatch token makes the park
-// race-free (a stale token only causes one extra epoch re-check).
+// workerLoop is the body of homes 1..nw-1's goroutines: wait for a
+// slot bump, run the assigned group of homes in ascending order, join.
+// Waiting spins briefly (yielding) before declaring itself parked and
+// blocking on the wake channel; the parkFlag/slot protocol (see the
+// file comment) makes the park race-free, with at worst one stale
+// token consumed and re-checked.
 func (e *parEngine) workerLoop(w *parWorker) {
 	defer e.wg.Done()
-	var last uint64
+	var seen uint64
 	for {
-		spins := 0
-		for e.epoch.Load() == last {
-			spins++
+		for spins := 0; w.slot.Load() == seen; spins++ {
 			if spins < 128 {
 				runtime.Gosched()
 				continue
 			}
+			w.parkFlag.Store(1)
+			if w.slot.Load() != seen {
+				w.parkFlag.Store(0)
+				break
+			}
 			<-w.wakeCh
+			w.parkFlag.Store(0)
+			spins = 0
 		}
-		last = e.epoch.Load()
+		seen = w.slot.Load()
 		if e.sect == secExit {
 			return
 		}
-		w.run(e.sect, e.cycle)
-		if e.pending.Add(-1) == 0 {
+		sec, now := e.sect, e.cycle
+		for h := w.runLo; h < w.runHi; h++ {
+			e.workers[h].run(sec, now)
+		}
+		if e.joins.Add(-1) == 0 {
 			select {
 			case e.doneCh <- struct{}{}:
 			default:
@@ -361,36 +479,65 @@ func (e *parEngine) workerLoop(w *parWorker) {
 	}
 }
 
-// runSection dispatches one section to all workers, runs shard 0
-// inline, waits for the barrier, and re-raises the first worker panic
-// (lowest worker index) on the caller's goroutine.
+// runSection executes one section under the current grouping: skipped
+// when no group has work, inline on the coordinator when one group
+// suffices, otherwise group 0 inline with groups 1..k-1 dispatched to
+// the goroutines of their first homes. Worker panics are re-raised on
+// the caller's goroutine (lowest home first).
 func (e *parEngine) runSection(sec int32, now int64) {
+	ng := len(e.groups)
+	if ng == 0 {
+		e.nSkip++
+		return
+	}
 	nw := len(e.workers)
-	if nw > 1 {
-		e.sect, e.cycle = sec, now
-		e.pending.Store(int32(nw - 1))
-		e.epoch.Add(1)
-		for _, w := range e.workers[1:] {
+	e.sect, e.cycle = sec, now
+	if ng == 1 {
+		e.nInline++
+		for h := 0; h < nw; h++ {
+			e.workers[h].run(sec, now)
+		}
+		e.checkPanics()
+		return
+	}
+	e.nDispatch++
+	e.joins.Store(int32(ng - 1))
+	for g := 1; g < ng; g++ {
+		glo := e.groups[g]
+		ghi := int32(nw)
+		if g+1 < ng {
+			ghi = e.groups[g+1]
+		}
+		w := e.workers[glo]
+		w.runLo, w.runHi = glo, ghi
+		w.slot.Add(1)
+		if w.parkFlag.Load() != 0 {
 			select {
 			case w.wakeCh <- struct{}{}:
 			default:
 			}
 		}
 	}
-	e.workers[0].run(sec, now)
-	if nw > 1 {
-		for e.pending.Load() != 0 {
-			select {
-			case <-e.doneCh:
-			default:
-				runtime.Gosched()
-			}
-		}
-		select { // drain a stale completion token
+	for h := int32(0); h < e.groups[1]; h++ {
+		e.workers[h].run(sec, now)
+	}
+	for e.joins.Load() != 0 {
+		select {
 		case <-e.doneCh:
 		default:
+			runtime.Gosched()
 		}
 	}
+	select { // drain a stale completion token
+	case <-e.doneCh:
+	default:
+	}
+	e.checkPanics()
+}
+
+// checkPanics re-raises the first captured worker panic (lowest home
+// index) on the coordinator's goroutine.
+func (e *parEngine) checkPanics() {
 	for _, w := range e.workers {
 		if w.panicked {
 			w.panicked = false
@@ -400,9 +547,9 @@ func (e *parEngine) runSection(sec int32, now int64) {
 	}
 }
 
-// run executes one section over the worker's shard, capturing panics
-// for deferred re-raise (a panic escaping a worker goroutine would kill
-// the process without unwinding the coordinator).
+// run executes one section over the home's node range, capturing
+// panics for deferred re-raise (a panic escaping a worker goroutine
+// would kill the process without unwinding the coordinator).
 func (w *parWorker) run(sec int32, now int64) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -412,23 +559,16 @@ func (w *parWorker) run(sec int32, now int64) {
 	switch sec {
 	case secDeliver:
 		w.secDeliver(now)
-	case secDeliverSignals:
-		w.secDeliver(now)
-		w.secSignals(now)
-	case secSignals:
-		w.secSignals(now)
-	case secPipeline:
-		w.secPipeline(now)
-	case secWants:
-		w.secWants(now)
+	case secMain:
+		w.secMain(now)
 	case secCtrl:
 		w.secCtrl(now)
 	}
 }
 
-// first and after iterate the worker's share of the node set: the
-// shard's slice of the active set under the scheduler, the full shard
-// range under FullTick. The active bitset is frozen during sections
+// first and after iterate the home's share of the node set: the home's
+// slice of the active set under the scheduler, the full home range
+// under FullTick. The active bitset is frozen during sections
 // (activations only append to the pending list), so concurrent reads
 // are safe.
 func (w *parWorker) first() int32 {
@@ -530,10 +670,17 @@ func (w *parWorker) secDeliver(now int64) {
 	}
 }
 
-// secSignals is phases 2 and 3's emission half: NI punch signalling and
-// router punch emission, both deferred into op buffers (the fabric
-// itself is stepped by the coordinator after worker-major replay).
-func (w *parWorker) secSignals(now int64) {
+// secMain fuses the serial engine's phases 2-6 (plus the WU-want half
+// of phase 7, or phase 8 for non-gating schemes) into one section: NI
+// punch signalling and router punch emission (both deferred into op
+// buffers; the fabric steps on the coordinator afterwards), output
+// masking, router pipelines, NI injection, and the own-state want
+// levels with their wanted-neighbour arms. Controllers, neighbour
+// output pipes, and the punch fabric are all frozen for the whole
+// section, so every cross-node read is race-free; nothing here reads
+// fabric state, which is what lets the fabric step move after the
+// section (see the file comment for the float-order argument).
+func (w *parWorker) secMain(now int64) {
 	n := w.eng.n
 	for i := w.first(); i != -1; i = w.after(i) {
 		n.NIs[i].StepSignals(now)
@@ -543,14 +690,6 @@ func (w *parWorker) secSignals(now int64) {
 			n.Routers[i].EmitPunches(&w.sink)
 		}
 	}
-}
-
-// secPipeline is phases 4-6: output masking, router pipelines, NI
-// injection. Controllers and neighbour output pipes are frozen for the
-// whole section, so the mask and pipeline reads are race-free; forward-
-// hook arms land in the worker's arm buffer.
-func (w *parWorker) secPipeline(now int64) {
-	n := w.eng.n
 	for i := w.first(); i != -1; i = w.after(i) {
 		n.maskBlocked(n.Routers[i])
 	}
@@ -566,11 +705,22 @@ func (w *parWorker) secPipeline(now int64) {
 	if w.rec != nil {
 		w.marks[2] = w.rec.Mark()
 	}
+	if w.eng.gates {
+		w.secWants(now)
+	} else {
+		// No controllers to step: the static-power tick (phase 8) rides
+		// along here. Nodes armed during this section are charged by
+		// the coordinator's straggler pass instead.
+		for i := w.first(); i != -1; i = w.after(i) {
+			n.Acct.TickStatic(int(i), routerPowerState(n.Routers[i].Ctrl))
+		}
+	}
 }
 
-// secWants is the WU-level half of phase 7: compute each own router's
-// want levels and collect the wanted-neighbour arms the serial engine
-// would apply inline.
+// secWants is the WU-level half of phase 7, fused into section B:
+// compute each own router's want levels from its post-pipeline state
+// and collect the wanted-neighbour arms the serial engine would apply
+// inline.
 func (w *parWorker) secWants(now int64) {
 	n := w.eng.n
 	early := n.pol.EarlyWakeup()
@@ -595,41 +745,42 @@ func (w *parWorker) secWants(now int64) {
 	}
 }
 
-// secCtrl is the rest of phase 7 plus phase 8: wakeup levels (own NI +
-// frozen neighbour wants), PG controller steps (neighbour pipes and the
-// fabric's hold state are frozen), and the static-power tick.
+// secCtrl is the rest of phase 7 plus phase 8, for gating schemes:
+// wakeup levels (own NI + frozen neighbour wants), PG controller steps
+// (neighbour pipes and the fabric's hold state are frozen), and the
+// static-power tick. It reads no parked neighbour FSM state — wants
+// are plain arrays and the quiescence inputs are structural — so the
+// halo sync owes it nothing.
 func (w *parWorker) secCtrl(now int64) {
 	n := w.eng.n
-	if n.pol.Gates() {
-		for i := w.first(); i != -1; i = w.after(i) {
-			wu := n.NIs[i].WantsWakeup()
-			if !wu {
-				for _, d := range mesh.LinkDirections {
-					nb := n.nbr[i][d]
-					if nb == mesh.Invalid {
-						continue
-					}
-					if n.wants[nb][d.Opposite()] {
-						wu = true
-						break
-					}
+	for i := w.first(); i != -1; i = w.after(i) {
+		wu := n.NIs[i].WantsWakeup()
+		if !wu {
+			for _, d := range mesh.LinkDirections {
+				nb := n.nbr[i][d]
+				if nb == mesh.Invalid {
+					continue
+				}
+				if n.wants[nb][d.Opposite()] {
+					wu = true
+					break
 				}
 			}
-			n.wakeups[i] = wu
 		}
-		for i := w.first(); i != -1; i = w.after(i) {
-			r := n.Routers[i]
-			empty := r.Empty() && n.incomingQuiet(r)
-			hold := false
-			if n.Fabric != nil {
-				hold = n.Fabric.Hold(r.ID)
-			}
-			bhold := n.bypassOn && n.bypassHeld(int(i))
-			if n.wakeups[i] && n.Acct.Enabled() {
-				n.Acct.WakeupSignal(int(i))
-			}
-			r.Ctrl.Step(pg.Inputs{Empty: empty, Wakeup: n.wakeups[i], PunchHold: hold, BypassHold: bhold})
+		n.wakeups[i] = wu
+	}
+	for i := w.first(); i != -1; i = w.after(i) {
+		r := n.Routers[i]
+		empty := r.Empty() && n.incomingQuiet(r)
+		hold := false
+		if n.Fabric != nil {
+			hold = n.Fabric.Hold(r.ID)
 		}
+		bhold := n.bypassOn && n.bypassHeld(int(i))
+		if n.wakeups[i] && n.Acct.Enabled() {
+			n.Acct.WakeupSignal(int(i))
+		}
+		r.Ctrl.Step(pg.Inputs{Empty: empty, Wakeup: n.wakeups[i], PunchHold: hold, BypassHold: bhold})
 	}
 	for i := w.first(); i != -1; i = w.after(i) {
 		n.Acct.TickStatic(int(i), routerPowerState(n.Routers[i].Ctrl))
@@ -639,15 +790,179 @@ func (w *parWorker) secCtrl(now int64) {
 	}
 }
 
+// homeActive counts the active-set bits in the node range [lo, hi).
+func homeActive(set []uint64, lo, hi int32) int {
+	wLo, wHi := int(lo)>>6, int(hi-1)>>6
+	mLo := ^uint64(0) << (uint(lo) & 63)
+	mHi := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if wLo == wHi {
+		return bits.OnesCount64(set[wLo] & mLo & mHi)
+	}
+	c := bits.OnesCount64(set[wLo] & mLo)
+	for i := wLo + 1; i < wHi; i++ {
+		c += bits.OnesCount64(set[i])
+	}
+	return c + bits.OnesCount64(set[wHi]&mHi)
+}
+
+// markDirty flags home h as having work this cycle. The first marking
+// also brings the home's lane-bus clock up to date, so any event its
+// nodes emit later this cycle computes payloads from the same cycle
+// the real bus holds.
+func (e *parEngine) markDirty(h int, now int64) {
+	if e.dirty[h] {
+		return
+	}
+	e.dirty[h] = true
+	if w := e.workers[h]; w.bus != nil {
+		w.bus.SetNow(now)
+	}
+}
+
+// regroupNow derives the execution grouping from the active set: one
+// contiguous group of homes per ~grain active nodes (at most one per
+// home), balanced greedily by per-home active counts. Homes with
+// active nodes are marked dirty. An empty active set clears the
+// grouping entirely (sections are skipped); a single group makes the
+// coordinator run everything inline. The partition is a pure function
+// of the active bitset, so the re-sharding points are deterministic —
+// and since commits replay home-major regardless of grouping, the
+// partition cannot affect results at all.
+func (e *parEngine) regroupNow(now int64) {
+	s := e.n.sched
+	nw := len(e.workers)
+	total := 0
+	for h, w := range e.workers {
+		c := homeActive(s.active, w.lo, w.hi)
+		e.cnt[h] = c
+		total += c
+		if c > 0 {
+			e.markDirty(h, now)
+		}
+	}
+	e.groups = e.groups[:0]
+	if total == 0 {
+		return
+	}
+	k := (total + e.grain - 1) / e.grain
+	if k > nw {
+		k = nw
+	}
+	e.groups = append(e.groups, 0)
+	acc, lastAcc := 0, 0
+	for h := 0; h < nw-1 && len(e.groups) < k; h++ {
+		acc += e.cnt[h]
+		// Close the current group once it holds its proportional share,
+		// but only after strict progress — interior groups never start
+		// empty, so every group leader for g >= 1 is a goroutine-backed
+		// home.
+		if acc > lastAcc && acc*k >= len(e.groups)*total {
+			e.groups = append(e.groups, int32(h+1))
+			lastAcc = acc
+		}
+	}
+	// A tail group with no active nodes would dispatch a worker for
+	// nothing; fold it into its predecessor.
+	if lastAcc == total && len(e.groups) > 1 {
+		e.groups = e.groups[:len(e.groups)-1]
+	}
+}
+
+// maybeRegroup re-partitions if an arming flush changed the active set
+// since the last grouping.
+func (e *parEngine) maybeRegroup(now int64) {
+	if e.regroup {
+		e.regroup = false
+		e.regroupNow(now)
+	}
+}
+
+// syncNeighbors catches up the parked 1-hop neighbours of node i (and
+// the 2-hop through-path neighbours when a bypass scheme is on)
+// through the previous cycle. This is the complete set of parked-FSM
+// state the sections read on node i's behalf: maskBlocked's
+// PGAsserted and the bypass admission/suppression controller reads.
+// Members of the active set are already synced (endCycle marked them),
+// and a catchUp on a synced node is a read-only early return — which
+// is exactly what makes the identical calls inside the sections
+// race-free.
+func (e *parEngine) syncNeighbors(i int32, now int64) {
+	n := e.n
+	s := n.sched
+	for _, d := range mesh.LinkDirections {
+		nb := n.nbr[i][d]
+		if nb == mesh.Invalid {
+			continue
+		}
+		if !s.inSet[nb] {
+			s.catchUp(int32(nb), now-1)
+		}
+		if n.bypassOn {
+			if a := n.nbr[nb][d]; a != mesh.Invalid && !s.inSet[a] {
+				s.catchUp(int32(a), now-1)
+			}
+		}
+	}
+}
+
+// syncHalo catches up the halo of the whole active set (see
+// syncNeighbors). Replaces the old engine's eager whole-network
+// syncAll: cost scales with the active set, not the node count.
+func (e *parEngine) syncHalo(now int64) {
+	s := e.n.sched
+	for i := s.next(0); i != -1; i = s.next(i + 1) {
+		e.syncNeighbors(i, now)
+	}
+}
+
+// prepFlush is the parallel engine's arming flush: mark the pending
+// nodes' homes dirty, sync their halos, move them into the active set,
+// and request a re-partition before the next section.
+func (e *parEngine) prepFlush(now int64) {
+	s := e.n.sched
+	if len(s.pending) == 0 {
+		return
+	}
+	for _, i := range s.pending {
+		e.markDirty(int(e.ownerOf[i]), now)
+		e.syncNeighbors(i, now)
+	}
+	s.flush(now)
+	e.regroup = true
+}
+
+// stragglerStatic charges the phase-8 static tick for nodes armed
+// during section B (forward hooks), which joined too late for the
+// fused tick — non-gating schemes only, where no section C runs. The
+// flush's catch-up-then-tick per node is exactly the serial order, and
+// cross-node order is free (per-node accumulators).
+func (e *parEngine) stragglerStatic(now int64) {
+	n := e.n
+	s := n.sched
+	if len(s.pending) == 0 {
+		return
+	}
+	e.stragglers = append(e.stragglers[:0], s.pending...)
+	s.flush(now)
+	for _, i := range e.stragglers {
+		n.Acct.TickStatic(int(i), routerPowerState(n.Routers[i].Ctrl))
+	}
+}
+
 // replayCut re-emits the events of one recorder cut onto the real bus,
-// worker-major — the serial engines' ascending-node order, since shards
-// are contiguous. Emit restamps the cycle (the lane clocks are kept in
-// step anyway, because emitters derive event payloads from bus.Now()).
+// home-major — the serial engines' ascending-node order, since homes
+// are contiguous. Clean homes are skipped (their recorders are empty
+// and their marks zero). Emit restamps the cycle (the lane clocks are
+// kept in step anyway, because emitters derive event payloads from
+// bus.Now()).
 func (e *parEngine) replayCut(cut int) {
 	if e.realBus == nil {
 		return
 	}
-	for _, w := range e.workers {
+	for h, w := range e.workers {
+		if !e.dirty[h] {
+			continue
+		}
 		lo := 0
 		if cut > 0 {
 			lo = w.marks[cut-1]
@@ -660,8 +975,8 @@ func (e *parEngine) replayCut(cut int) {
 }
 
 // replayBypassForwards relays the deferred bypass-tagged flits across
-// their flown-over routers (see forwardBypass), worker-major on the
-// coordinator after the section A barrier. Pushes target the next
+// their flown-over routers (see forwardBypass), home-major on the
+// coordinator after the section A rendezvous. Pushes target the next
 // cycle and stream-counter releases are first read in phase 7, so the
 // replay point is behaviourally identical to the serial engines'
 // inline forward during phase 1.
@@ -698,7 +1013,7 @@ func (e *parEngine) replayDelivers() {
 
 // replayPunchOps applies the deferred punch-fabric calls to the real
 // fabric: all NI signal ops (phase 2), then all router emissions
-// (phase 3), each worker-major. Order matters — per-node pending lists,
+// (phase 3), each home-major. Order matters — per-node pending lists,
 // strict-port arbitration, and event emission all follow call order.
 func (e *parEngine) replayPunchOps() {
 	fab := e.n.Fabric
@@ -721,7 +1036,7 @@ func (e *parEngine) replayPunchOps() {
 }
 
 // replayArms feeds the buffered activation attempts through the
-// scheduler, worker-major. Every attempt is replayed (no dedup in the
+// scheduler, home-major. Every attempt is replayed (no dedup in the
 // buffers) so the inSet guard runs exactly as it would have inline.
 func (e *parEngine) replayArms(s *scheduler) {
 	for _, w := range e.workers {
@@ -733,14 +1048,18 @@ func (e *parEngine) replayArms(s *scheduler) {
 }
 
 // drainFlitReturns returns every deferred ejected flit to the pool of
-// the worker owning its source node, in fixed (target, source) order,
-// keeping pool contents deterministic.
+// the home owning its source node, in fixed (target, source) order,
+// keeping pool contents deterministic. Clean source homes ejected
+// nothing this cycle, so their queues are provably empty.
 func (e *parEngine) drainFlitReturns() {
 	if e.workers[0].pool == nil {
 		return
 	}
 	for tw, wt := range e.workers {
-		for _, ws := range e.workers {
+		for sw, ws := range e.workers {
+			if !e.dirty[sw] {
+				continue
+			}
 			q := ws.flitRet[tw]
 			for j, f := range q {
 				wt.pool.PutFlit(f)
@@ -753,7 +1072,7 @@ func (e *parEngine) drainFlitReturns() {
 
 // step advances the network one cycle on the parallel engine. The
 // structure mirrors stepActive/stepFull phase for phase; see the file
-// comment for the barrier placement rationale.
+// comment for the section fusion and rendezvous rationale.
 func (e *parEngine) step() {
 	n := e.n
 	now := n.now
@@ -762,69 +1081,72 @@ func (e *parEngine) step() {
 		n.bus.SetNow(now)
 	}
 
-	// Per-cycle housekeeping: recompute the Deliver-hook flag (it is a
-	// settable public field), refresh lane sample-keeping, reset the
-	// lane recorders.
-	e.hasDeliver = false
-	for _, nif := range n.NIs {
-		if nif.Deliver != nil {
-			e.hasDeliver = true
-			break
-		}
-	}
+	// Per-cycle housekeeping: propagate the sample-keeping flag to the
+	// lanes when it changes, reset last cycle's dirty recorders (clean
+	// homes provably have empty recorders and zero marks, so the replay
+	// cuts can always slice them safely), then flush, halo-sync, and
+	// group for the cycle.
 	keep := n.Col.KeepingSamples()
-	for _, w := range e.workers {
-		if w.col.KeepingSamples() != keep {
+	if keep != e.lastKeep {
+		e.lastKeep = keep
+		for _, w := range e.workers {
 			w.col.KeepSamples(keep)
 		}
-		if w.rec != nil {
-			w.rec.Reset()
-			// Lane clocks track the real bus: emitters compute event
-			// payloads from bus.Now() (e.g. the KindPGGate active-period
-			// length), so lanes must read the same cycle the real bus
-			// does. Event cycle stamps would be correct either way —
-			// replay restamps them — but payloads are recorded verbatim.
-			w.bus.SetNow(now)
-		}
 	}
-
-	if s != nil {
-		// Arm driver-submitted work, then eagerly apply every parked
-		// node's catch-up charges so the in-section catchUp calls
-		// (maskBlocked) are read-only no-ops.
-		s.flush(now)
-		s.syncAll(now - 1)
-	}
-
-	// Phase 1 (+2/3 emission when fused): deliver, signal, emit.
-	e.inSection = true
-	if e.hasDeliver {
-		e.runSection(secDeliver, now)
-		e.inSection = false
-		if n.bypassOn {
-			e.replayBypassForwards(now)
+	if s == nil {
+		for _, w := range e.workers {
+			if w.rec != nil {
+				w.rec.Reset()
+				w.marks = [4]int{}
+				// Lane clocks track the real bus: emitters compute event
+				// payloads from bus.Now() (e.g. the KindPGGate
+				// active-period length), so lanes must read the same cycle
+				// the real bus does. Event cycle stamps would be correct
+				// either way — replay restamps them — but payloads are
+				// recorded verbatim.
+				w.bus.SetNow(now)
+			}
 		}
-		e.replayCut(0)
-		e.replayDelivers()
-		if s != nil {
-			s.flush(now)
-		}
-		e.inSection = true
-		e.runSection(secSignals, now)
-		e.inSection = false
 	} else {
-		e.runSection(secDeliverSignals, now)
-		e.inSection = false
-		if n.bypassOn {
-			e.replayBypassForwards(now)
+		for h, w := range e.workers {
+			if e.dirty[h] {
+				e.dirty[h] = false
+				if w.rec != nil {
+					w.rec.Reset()
+				}
+				w.marks = [4]int{}
+			}
 		}
-		e.replayCut(0)
-		if s != nil {
-			s.flush(now)
-		}
+		e.prepFlush(now)
+		e.syncHalo(now)
+		e.regroupNow(now)
+		e.regroup = false
 	}
 
-	// Phase 3's fabric half, on the real fabric in serial order.
+	// Section A — phase 1: pull-deliver, credits, ejection.
+	e.inSection = true
+	e.runSection(secDeliver, now)
+	e.inSection = false
+	if n.bypassOn {
+		e.replayBypassForwards(now)
+	}
+	e.replayCut(0)
+	e.replayDelivers()
+	if s != nil {
+		e.prepFlush(now)
+		e.maybeRegroup(now)
+	}
+
+	// Section B — phases 2-6 (+ want levels or non-gating static).
+	e.inSection = true
+	e.runSection(secMain, now)
+	e.inSection = false
+
+	// Phase 3's fabric half, on the real fabric in serial order. B
+	// generated this cycle's ops but read no fabric state, and the
+	// holds the step produces are first read in section C — so the
+	// fabric floats here without reordering any per-router, per-field
+	// accumulation (see the file comment).
 	if n.Fabric != nil {
 		e.replayPunchOps()
 		if s == nil {
@@ -834,45 +1156,40 @@ func (e *parEngine) step() {
 			for _, id := range n.Fabric.Held() {
 				s.activate(int32(id), true)
 			}
-			s.flush(now)
 		}
 	}
-
-	// Phases 4-6: mask, pipelines, injection.
-	e.inSection = true
-	e.runSection(secPipeline, now)
-	e.inSection = false
 	e.replayCut(1)
 	e.replayCut(2)
 	if s != nil {
 		e.replayArms(s)
-		s.flush(now)
 	}
 
-	// Phase 7: want levels, then (after the wanted neighbours joined)
-	// wakeups and controller steps; phase 8 static ticks ride along.
-	if n.pol.Gates() {
-		e.inSection = true
-		e.runSection(secWants, now)
-		e.inSection = false
+	// Section C — phases 7-8 (gating schemes); non-gating schemes only
+	// owe the stragglers their static tick.
+	if e.gates {
 		if s != nil {
-			e.replayArms(s)
-			s.flush(now)
+			e.prepFlush(now)
+			e.maybeRegroup(now)
 		}
+		e.inSection = true
+		e.runSection(secCtrl, now)
+		e.inSection = false
+		e.replayCut(3)
+	} else if s != nil {
+		e.stragglerStatic(now)
 	}
-	e.inSection = true
-	e.runSection(secCtrl, now)
-	e.inSection = false
-	e.replayCut(3)
 
 	n.Acct.TickCycle()
-	n.Acct.FoldLanes()
-	for _, w := range e.workers {
-		n.Col.Merge(w.col)
+	for h, w := range e.workers {
+		if e.dirty[h] {
+			n.Col.Merge(w.col)
+		}
 	}
 	e.drainFlitReturns()
 
-	// Phase 9: invariant checks, serial on the coordinator.
+	// Phase 9: invariant checks, serial on the coordinator. The engine
+	// reads every node's counters, so the whole network is synced first
+	// (checked runs trade the halo economy for coverage).
 	if n.Checker != nil {
 		if s != nil {
 			s.syncAll(now)
@@ -885,6 +1202,10 @@ func (e *parEngine) step() {
 	if s != nil {
 		s.endCycle(now)
 	}
+	// Fold the counter lanes after the checker's syncAll (whose
+	// catch-up charges land in lanes) so end-of-cycle readers — the
+	// sampler on bus EndCycle, post-run reports — see folded counts.
+	n.Acct.FoldLanes()
 	if n.bus != nil {
 		n.bus.EndCycle()
 	}

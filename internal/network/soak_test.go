@@ -103,6 +103,74 @@ func TestSoakParallel(t *testing.T) {
 		}
 	}
 
+	// Large-fabric legs (bounded cycles so the -race CI job stays
+	// tractable). The occupancy-aware grouping is the engine's whole
+	// point at scale — a sparse active set on a big fabric regroups
+	// every cycle, so these legs race-soak the regroup/dirty-home/halo
+	// machinery in exactly the regime the 8x8 legs cannot reach.
+	t.Run("32x32-checked", func(t *testing.T) {
+		t.Parallel()
+		cfg := config.Default()
+		cfg.Scheme = config.PowerPunchPG
+		cfg.Width, cfg.Height = 32, 32
+		cfg.WarmupCycles = 0
+		cfg.MeasureCycles = 1 << 40
+		cfg.Checks = true
+		cfg.CheckInterval = 1
+		cfg.Workers = 4
+		n := mustNew(t, cfg)
+		defer n.Close()
+		violated := false
+		n.OnViolation = func(a *check.Artifact) {
+			violated = true
+			t.Errorf("32x32: %v", &a.Violation)
+		}
+		d := &randomDriver{rng: rand.New(rand.NewSource(99)), rate: 0.004, until: 500}
+		for cyc := 0; cyc < 500 && !violated; cyc++ {
+			d.Tick(n, n.Now())
+			n.Step()
+		}
+		for cyc := 0; cyc < 20_000 && !n.Quiesced(); cyc++ {
+			n.Step()
+		}
+		if !n.Quiesced() {
+			t.Fatal("32x32 checked soak did not quiesce")
+		}
+		for _, p := range d.pkts {
+			if p.EjectedAt == 0 {
+				t.Fatalf("32x32 soak lost packet %v", p)
+			}
+		}
+	})
+	t.Run("64x64-flyover", func(t *testing.T) {
+		t.Parallel()
+		cfg := config.Default()
+		cfg.Scheme = config.FlyOverPG
+		cfg.Width, cfg.Height = 64, 64
+		cfg.WarmupCycles = 0
+		cfg.MeasureCycles = 1 << 40
+		cfg.Workers = 8
+		n := mustNew(t, cfg)
+		defer n.Close()
+		d := &randomDriver{rng: rand.New(rand.NewSource(17)), rate: 0.002, until: 250}
+		for cyc := 0; cyc < 250; cyc++ {
+			d.Tick(n, n.Now())
+			n.Step()
+		}
+		for cyc := 0; cyc < 30_000 && !n.Quiesced(); cyc++ {
+			n.Step()
+		}
+		if !n.Quiesced() {
+			t.Fatal("64x64 FlyOver soak did not quiesce")
+		}
+		n.CheckInvariants()
+		for _, p := range d.pkts {
+			if p.EjectedAt == 0 {
+				t.Fatalf("64x64 FlyOver soak lost packet %v", p)
+			}
+		}
+	})
+
 	// Recycled high-load leg: eight workers, packet recycling on, so the
 	// per-worker pools and the cross-shard flit-return queues churn for
 	// thousands of cycles. The driver retains no packet pointers —

@@ -232,7 +232,17 @@ func New(id mesh.NodeID, rf topo.RoutingFunction, cfg *config.Config, ctrl *pg.C
 			CreditOut: link.NewPipe[Credit](cfg.LinkLatency),
 		}
 		for v := 0; v < numVCs; v++ {
-			ip.vcs = append(ip.vcs, &vc{idx: v, depth: cfg.VCDepth(v % cfg.VCsPerVN())})
+			// Buffers are preallocated to the credit-enforced depth so
+			// push never grows them mid-run: on large fabrics the long
+			// tail of first-time-full VCs would otherwise keep the
+			// steady-state tick allocating for tens of thousands of
+			// cycles.
+			d := cfg.VCDepth(v % cfg.VCsPerVN())
+			ip.vcs = append(ip.vcs, &vc{
+				idx: v, depth: d,
+				buf: make([]*flit.Flit, 0, d),
+				arr: make([]int64, 0, d),
+			})
 		}
 		r.in[p] = ip
 

@@ -384,6 +384,20 @@ func NewTraceReplay(t *TrafficTrace) *TraceReplay { return traffic.NewReplay(t) 
 // ReadTrafficTrace parses a JSON-lines trace.
 func ReadTrafficTrace(r io.Reader) (*TrafficTrace, error) { return traffic.ReadTrace(r) }
 
+// ValidateTrafficTrace checks a recorded trace against a fabric shape:
+// events in cycle order, every endpoint on the fabric, sane sizes and
+// virtual networks. A trace records raw node IDs, so replaying it on a
+// different shape than it was recorded on otherwise fails deep inside
+// the cycle loop; validate first and report the mismatch instead.
+func ValidateTrafficTrace(spec TopologySpec, t *TrafficTrace) error {
+	spec = spec.normalize()
+	rf, err := topo.Build(spec.Topology, spec.Width, spec.Height)
+	if err != nil {
+		return err
+	}
+	return t.Validate(rf.Topology())
+}
+
 // CheckArtifact is the structured failure report the invariant engine
 // (Config.Checks) emits on its first violation: the failing invariant
 // and cycle, the full configuration, and every traffic submission, so

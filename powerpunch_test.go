@@ -2,6 +2,8 @@ package powerpunch
 
 import (
 	"testing"
+
+	"powerpunch/internal/traffic"
 )
 
 func TestPublicQuickstartFlow(t *testing.T) {
@@ -94,5 +96,21 @@ func TestPublicSchemeList(t *testing.T) {
 	}
 	if len(PARSECBenchmarks) != 8 {
 		t.Errorf("PARSECBenchmarks = %v", PARSECBenchmarks)
+	}
+}
+
+func TestValidateTrafficTrace(t *testing.T) {
+	tr := &TrafficTrace{Events: []traffic.Event{
+		{Now: 0, Src: 106, Dst: 323, VN: 0, Size: 5},
+	}}
+	if err := ValidateTrafficTrace(TopologySpec{Width: 32, Height: 32}, tr); err != nil {
+		t.Fatalf("trace valid on its recorded 32x32 shape: %v", err)
+	}
+	if err := ValidateTrafficTrace(TopologySpec{}, tr); err == nil {
+		t.Fatal("node 323 must not validate on the default 8x8 mesh")
+	}
+	bad := &TrafficTrace{Events: []traffic.Event{{Now: 0, Src: 1, Dst: 2, Size: 0}}}
+	if err := ValidateTrafficTrace(TopologySpec{}, bad); err == nil {
+		t.Fatal("zero-size event must not validate")
 	}
 }
